@@ -1,0 +1,22 @@
+"""Ablation — the alpha threshold (Section III-B: alpha ~ 5 works best)."""
+
+from conftest import emit
+
+from repro.bench.experiments import ablation
+
+
+def test_ablation_alpha(benchmark):
+    result = benchmark.pedantic(
+        ablation.alpha_sweep,
+        kwargs={"scale": 0.2, "alphas": (1.0, 2.0, 5.0, 10.0, 100.0)},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation: alpha sweep", result.render())
+    # alpha influences direction switching: larger alpha -> more bottom-up.
+    by_graph = {}
+    for graph, alpha, edges, phases, bu, grafts, ms in result.rows:
+        by_graph.setdefault(graph, []).append((alpha, bu))
+    for graph, rows in by_graph.items():
+        rows.sort()
+        assert rows[0][1] <= rows[-1][1], graph  # bottom-up count grows with alpha

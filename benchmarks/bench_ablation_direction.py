@@ -1,0 +1,23 @@
+"""Ablation — direction-switch strategy: the paper's vertex-count rule
+(Algorithm 3 line 9) vs Beamer's degree-weighted edge-count rule."""
+
+from conftest import emit
+
+from repro.bench.experiments import ablation
+
+
+def test_ablation_direction_strategy(benchmark):
+    result = benchmark.pedantic(
+        ablation.direction_strategy_comparison, kwargs={"scale": 0.2},
+        rounds=1, iterations=1,
+    )
+    emit("Ablation: direction strategy", result.render())
+    by_graph = {}
+    for graph, strategy, edges, td, bu, ms in result.rows:
+        by_graph.setdefault(graph, {})[strategy] = (edges, td, bu, ms)
+    for graph, rows in by_graph.items():
+        # Both strategies explore the graph (sanity) ...
+        assert rows["vertex"][0] > 0 and rows["edge"][0] > 0
+        # ... and neither is catastrophically worse than the other.
+        assert rows["edge"][3] < 10 * rows["vertex"][3], graph
+        assert rows["vertex"][3] < 10 * rows["edge"][3], graph

@@ -1,0 +1,24 @@
+"""Ablation — private-queue capacity (the Graph500 omp-csr scheme the paper
+credits for its multi-socket scalability, Section IV-A)."""
+
+from conftest import emit
+
+from repro.bench.experiments import ablation
+
+
+def test_ablation_queue_capacity(benchmark):
+    result = benchmark.pedantic(
+        ablation.queue_capacity_sweep,
+        kwargs={"scale": 0.2, "capacities": (1, 16, 256, 1024, 8192)},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation: queue capacity", result.render())
+    by_graph = {}
+    for graph, capacity, ms, share in result.rows:
+        by_graph.setdefault(graph, []).append((capacity, ms))
+    for graph, rows in by_graph.items():
+        rows.sort()
+        # Unamortised shared-queue atomics (capacity 1) are never faster
+        # than the amortised scheme.
+        assert rows[0][1] >= rows[-1][1], graph

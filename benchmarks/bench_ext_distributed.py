@@ -1,0 +1,75 @@
+"""Extension experiment — distributed-memory MS-BFS-Graft scaling.
+
+Not a paper figure: the paper's Section VI names a distributed-memory
+MS-BFS-Graft as future work; this bench runs our BSP implementation across
+rank counts on one graph per class and reports compute/communication
+decomposition under the alpha-beta cluster model.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench.report import format_table
+from repro.bench.runner import suite_initializer
+from repro.bench.suite import get_suite_graph
+from repro.distributed import (
+    BSPCostModel,
+    ClusterSpec,
+    distributed_ms_bfs_graft,
+    distributed_ms_bfs_graft_2d,
+)
+from repro.matching.verify import verify_maximum
+
+GRAPHS = ("kkt-like", "copapers-like", "wikipedia-like")
+RANK_SWEEP = (1, 4, 16, 64)
+ENGINES = {"1D": distributed_ms_bfs_graft, "2D": distributed_ms_bfs_graft_2d}
+
+
+def test_ext_distributed_scaling(benchmark):
+    rows = []
+    serial_cardinality = {}
+    bytes_by = {}
+
+    def run_all():
+        for name in GRAPHS:
+            sg = get_suite_graph(name, scale=BENCH_SCALE)
+            init = suite_initializer(sg.graph, seed=0)
+            for decomp, engine in ENGINES.items():
+                serial_time = None
+                for ranks in RANK_SWEEP:
+                    result = engine(sg.graph, init, ranks=ranks)
+                    verify_maximum(sg.graph, result.matching)
+                    serial_cardinality.setdefault(name, result.cardinality)
+                    assert result.cardinality == serial_cardinality[name]
+                    cluster = ClusterSpec(name="cluster", ranks=ranks)
+                    total, comp, comm = BSPCostModel(cluster).decompose(result.log)
+                    if serial_time is None:
+                        serial_time = total
+                    rows.append(
+                        [name, decomp, ranks, result.log.num_supersteps, total * 1e3,
+                         comp * 1e3, comm * 1e3, result.log.total_bytes / 1e3,
+                         serial_time / total]
+                    )
+                    bytes_by[(name, decomp, ranks)] = result.log.total_bytes
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Extension: distributed-memory MS-BFS-Graft, 1D vs 2D decomposition",
+        format_table(
+            ["graph", "decomp", "ranks", "supersteps", "total ms", "compute ms",
+             "comm ms", "KB moved", "speedup"],
+            rows,
+        ),
+    )
+    by_graph = {}
+    for name, decomp, ranks, steps, total, comp, comm, kb, speedup in rows:
+        by_graph.setdefault((name, decomp), []).append((ranks, comp, speedup))
+    for (name, decomp), entries in by_graph.items():
+        entries.sort()
+        # Compute must scale down with ranks; total time is eventually
+        # latency-bound (the known regime of distributed BFS).
+        assert entries[-1][1] < entries[0][1], f"{name}/{decomp}: compute did not scale"
+        assert entries[-1][2] >= 1.0, f"{name}/{decomp}: distribution made things slower"
+    # The 2D decomposition's scoped collectives must move fewer bytes at
+    # the largest rank count on every graph.
+    for name in GRAPHS:
+        assert bytes_by[(name, "2D", 64)] < bytes_by[(name, "1D", 64)], name

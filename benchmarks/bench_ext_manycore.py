@@ -1,0 +1,53 @@
+"""Extension experiment — the paper's §V-D manycore conjecture.
+
+"Unlike PF and PR algorithms, the MS-BFS-Graft algorithm continues to scale
+up to 80 threads of Intel multiprocessors. Hence, the MS-BFS-Graft
+algorithm is expected to scale better than its competitors on the future
+manycore systems with hardware threads."
+
+We test the conjecture on a simulated 64-core/256-thread manycore
+(KNL-style): the three algorithms' traces are priced across the thread
+sweep and the claim is that MS-BFS-Graft keeps the largest share of its
+peak speedup at full thread count.
+"""
+
+from conftest import emit
+
+from repro.bench.report import format_table
+from repro.parallel.cost_model import CostModel
+from repro.parallel.machine import MANYCORE
+
+THREADS = (1, 8, 32, 64, 128, 256)
+ALGOS = ("ms-bfs-graft", "pothen-fan", "push-relabel")
+
+
+def test_ext_manycore_scaling(benchmark, suite_runs):
+    model = CostModel(MANYCORE)
+    rows = []
+    retention = {a: [] for a in ALGOS}
+
+    def run_all():
+        for trio in suite_runs.runs:
+            for algo in ALGOS:
+                trace = trio.results[algo].trace
+                times = {p: model.simulate(trace, p).seconds for p in THREADS}
+                speedups = [times[1] / max(times[p], 1e-12) for p in THREADS]
+                peak = max(speedups)
+                rows.append([trio.suite_graph.name, algo, *[f"{s:.1f}" for s in speedups]])
+                retention[algo].append(speedups[-1] / peak if peak > 0 else 1.0)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Extension: manycore (256 hw threads) scaling conjecture (paper V-D)",
+        format_table(
+            ["graph", "algorithm", *[f"x@{p}" for p in THREADS]], rows
+        ),
+    )
+    avg = {a: sum(v) / len(v) for a, v in retention.items()}
+    emit(
+        "speedup retention at 256 threads (fraction of own peak)",
+        "\n".join(f"{a}: {avg[a]:.2f}" for a in ALGOS),
+    )
+    # The conjecture: MS-BFS-Graft holds its scaling at full thread count at
+    # least as well as the coarse-grained PF decomposition does.
+    assert avg["ms-bfs-graft"] >= avg["pothen-fan"] - 0.05

@@ -1,0 +1,30 @@
+"""Fig. 1 — edges traversed, phases, and augmenting path lengths of five
+serial algorithms on one graph per class."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench.experiments import fig1
+
+
+def test_fig1_search_properties(benchmark):
+    result = benchmark.pedantic(
+        fig1.run, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit("Fig. 1", result.render())
+    by_graph = result.by_graph()
+    for graph, rows in by_graph.items():
+        stats = {r.algorithm: r for r in rows}
+        # All five algorithms find the same maximum cardinality.
+        assert len({r.cardinality for r in rows}) == 1
+        # Fig. 1(c): DFS-based searches never find shorter paths on average.
+        if stats["ss-dfs"].avg_path_length and stats["ss-bfs"].avg_path_length:
+            assert stats["ss-dfs"].avg_path_length >= stats["ss-bfs"].avg_path_length
+        # Fig. 1(b): single-source algorithms need far more phases than
+        # multi-source ones (one phase per free vertex).
+        assert stats["ss-bfs"].phases >= stats["ms-bfs"].phases
+    # Fig. 1(a) note (Section II-D): on the low-matching-number graph the
+    # SS algorithms' dead-tree pruning keeps them competitive with MS-BFS
+    # despite running thousands of single-source searches.
+    wiki = {r.algorithm: r for r in by_graph["wikipedia-like"]}
+    assert wiki["ss-bfs"].edges_traversed <= 3 * wiki["ms-bfs"].edges_traversed
+    assert wiki["ss-bfs"].phases > 50 * wiki["ms-bfs"].phases

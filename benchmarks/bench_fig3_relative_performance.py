@@ -1,0 +1,25 @@
+"""Fig. 3 — relative performance of MS-BFS-Graft vs PF vs PR, serial and at
+40 threads of (simulated) Mirasol, plus the Section V-A aggregate claims."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig3
+
+
+def test_fig3_relative_performance(benchmark, suite_runs):
+    result = benchmark.pedantic(
+        fig3.run, kwargs={"suite_runs": suite_runs}, rounds=1, iterations=1
+    )
+    emit("Fig. 3", result.render())
+
+    # Paper (Section V-A): on 40 threads MS-BFS-Graft beats both PF and PR
+    # on average, and by the most on the low-matching-number networks class.
+    assert result.pairwise_gain(40, "pothen-fan") > 1.0
+    assert result.pairwise_gain(40, "push-relabel") > 1.0
+
+    geo = result.class_geomeans(40)
+    graft_net = geo["networks"]["ms-bfs-graft"]
+    graft_sci = geo["scientific"]["ms-bfs-graft"]
+    assert graft_net >= 1.0 and graft_sci >= 1.0
+    # Networks-class gains dominate (paper: 10.4x vs PR, 27.8x vs PF there).
+    assert graft_net > geo["scale-free"]["ms-bfs-graft"] * 0.5

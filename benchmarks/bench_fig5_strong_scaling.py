@@ -1,0 +1,20 @@
+"""Fig. 5 — strong scaling of MS-BFS-Graft on Mirasol and Edison by class."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig5
+
+
+def test_fig5_strong_scaling(benchmark, suite_runs):
+    result = benchmark.pedantic(
+        fig5.run, kwargs={"suite_runs": suite_runs}, rounds=1, iterations=1
+    )
+    emit("Fig. 5", result.render())
+    for curve in result.curves:
+        assert curve.speedups[0] == 1.0
+        # Speedup grows within the first socket ...
+        assert curve.speedups[1] > 1.0
+        # ... and the full machine beats a single thread clearly.
+        assert max(curve.speedups) > 2.0
+        # Hyperthreaded point (last) never collapses below half the peak.
+        assert curve.speedups[-1] > 0.5 * max(curve.speedups)

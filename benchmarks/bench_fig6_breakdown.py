@@ -1,0 +1,20 @@
+"""Fig. 6 — runtime breakdown of MS-BFS-Graft by step at 40 threads."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig6
+
+
+def test_fig6_breakdown(benchmark, suite_runs):
+    result = benchmark.pedantic(
+        fig6.run, kwargs={"suite_runs": suite_runs}, rounds=1, iterations=1
+    )
+    emit("Fig. 6", result.render())
+    for row in result.rows:
+        assert abs(sum(row.fractions.values()) - 1.0) < 1e-6
+    # Paper: BFS traversal is at least ~40% of runtime on every graph; we
+    # require it to be the plurality on the scientific class, where the
+    # matching number is high and augmentation/grafting shares are small.
+    for row in result.rows:
+        if row.group == "scientific":
+            assert row.bfs_fraction > 0.3, (row.graph, row.fractions)

@@ -1,0 +1,24 @@
+"""Fig. 7 — performance contributions of direction optimization and tree
+grafting over plain MS-BFS."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig7
+
+
+def test_fig7_contributions(benchmark, suite_runs):
+    result = benchmark.pedantic(
+        fig7.run, kwargs={"suite_runs": suite_runs}, rounds=1, iterations=1
+    )
+    emit("Fig. 7", result.render())
+    avg = result.average_contribution()
+    assert avg["ms-bfs"] == 1.0
+    # The full algorithm must beat plain MS-BFS on average (paper: ~4.8x).
+    assert avg["ms-bfs-graft"] > 1.0
+    # Paper: graphs with low matching number benefit most from grafting
+    # (up to 7.8x); the networks class must out-gain the scientific class.
+    by_group = {}
+    for row in result.rows:
+        by_group.setdefault(row.group, []).append(row.speedup_over_msbfs("ms-bfs-graft"))
+    mean = lambda v: sum(v) / len(v)
+    assert mean(by_group["networks"]) > mean(by_group["scientific"])

@@ -1,0 +1,20 @@
+"""Fig. 8 — frontier size per level, two phases, graft vs no graft."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench.experiments import fig8
+
+
+def test_fig8_frontier_sizes(benchmark):
+    result = benchmark.pedantic(
+        fig8.run, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit("Fig. 8", result.render())
+    # Phase 2 with grafting starts from the grafted frontier, which is
+    # larger than the unmatched-roots restart of plain MS-BFS, and the
+    # grafted phase processes fewer total frontier vertices (less work).
+    graft_p2 = result.graft_levels[1]
+    nograft_p2 = result.nograft_levels[1]
+    if graft_p2 and nograft_p2:
+        assert graft_p2[0] >= nograft_p2[0]
+        assert sum(graft_p2) <= sum(nograft_p2)

@@ -1,0 +1,19 @@
+"""Per-phase traversal dynamics — fine-grained companion to Figs. 1(b)/8."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench.experiments import phase_dynamics
+
+
+def test_phase_dynamics(benchmark):
+    result = benchmark.pedantic(
+        phase_dynamics.run, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit("Per-phase dynamics (graft vs no-graft)", result.render())
+    # The mechanism: total traversal work with grafting never exceeds the
+    # rebuild-every-phase variant.
+    assert result.graft.total_traversal_work() <= result.nograft.total_traversal_work()
+    # Both variants find the same number of augmenting paths overall.
+    assert sum(result.graft.augmentation_series()) == sum(
+        result.nograft.augmentation_series()
+    )

@@ -1,0 +1,21 @@
+"""Section V-B — parallel runtime variability (psi = 100 * sigma / mu)."""
+
+from conftest import emit
+
+from repro.bench.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        sensitivity.run,
+        kwargs={"scale": 0.15, "runs": 8},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Section V-B (psi)", result.render())
+    avg = result.average_psi()
+    # All three algorithms exhibit some order sensitivity ...
+    assert all(v >= 0 for v in avg.values())
+    # ... and the fine-grained MS-BFS-Graft is the least sensitive of the
+    # three on average (paper: 6% vs 10% PR / 17% PF).
+    assert avg["ms-bfs-graft"] <= max(avg["pothen-fan"], avg["push-relabel"]) + 1e-9

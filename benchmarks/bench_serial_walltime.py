@@ -1,0 +1,23 @@
+"""Measured serial wall-clock companion to Fig. 3's serial comparison.
+
+Unlike every other bench (simulated machine), these numbers are real
+CPython wall times on this host — the honest measured dimension for the
+paper's serial-ordering claims among the pure-Python loop implementations.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import serial_walltime
+
+
+def test_serial_walltime(benchmark):
+    result = benchmark.pedantic(
+        serial_walltime.run, kwargs={"scale": 0.2, "repeats": 2},
+        rounds=1, iterations=1,
+    )
+    emit("Measured serial wall clock", result.render())
+    # Sanity: every algorithm produced a time on every graph, and all
+    # agreed on the cardinality (asserted inside the driver).
+    assert len(result.rows) == 11
+    for row in result.rows:
+        assert all(t > 0 for t in row.seconds.values())

@@ -1,0 +1,14 @@
+"""Table I — simulated machine specifications."""
+
+from conftest import emit
+
+from repro.bench.experiments import table1
+from repro.parallel.machine import EDISON, MIRASOL
+
+
+def test_table1_machines(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    emit("Table I", result.render())
+    # Topology arithmetic of the paper's testbeds.
+    assert MIRASOL.total_cores == 40 and MIRASOL.max_threads == 80
+    assert EDISON.total_cores == 24 and EDISON.max_threads == 48

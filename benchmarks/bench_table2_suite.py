@@ -1,0 +1,19 @@
+"""Table II — the input graph suite with certified matching numbers."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.bench.experiments import table2
+from repro.bench.suite import NETWORKS, SCIENTIFIC
+
+
+def test_table2_suite(benchmark):
+    result = benchmark.pedantic(
+        table2.run, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit("Table II", result.render())
+    assert len(result.rows) == 11
+    # Class bands (paper Table II): scientific ~1.0, networks clearly lower.
+    sci = [r.matching_fraction for r in result.rows if r.group == SCIENTIFIC]
+    net = [r.matching_fraction for r in result.rows if r.group == NETWORKS]
+    assert min(sci) > 0.95
+    assert max(net) < 0.85

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+``REPRO_BENCH_SCALE`` (default 0.3) scales every suite instance; the paper's
+real instances are 10-100x larger, but class membership rather than size
+drives the compared behaviours (see DESIGN.md). The expensive five-algorithm
+suite sweep is computed once per session and shared by the figure benches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def suite_runs():
+    """Trio + variant runs over the full suite, shared across bench files."""
+    from repro.bench.experiments._shared import run_suite_trio
+
+    return run_suite_trio(
+        scale=BENCH_SCALE,
+        algorithms=(
+            "ms-bfs-graft",
+            "pothen-fan",
+            "push-relabel",
+            "ms-bfs",
+            "ms-bfs-do",
+        ),
+        seed=BENCH_SEED,
+    )
+
+
+FIGURES_PATH = os.path.join(os.path.dirname(__file__), "figures_output.txt")
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure/table and persist it to ``benchmarks/figures_output.txt``.
+
+    pytest captures stdout on success, so the file is the durable record of
+    every regenerated table/figure from the latest benchmark run.
+    """
+    block = "\n".join(["", "=" * 78, title, "=" * 78, text, ""])
+    print(block)
+    with open(FIGURES_PATH, "a", encoding="utf-8") as fh:
+        fh.write(block + "\n")
+
+
+def pytest_sessionstart(session):
+    """Truncate the figures artifact at the start of each bench session."""
+    open(FIGURES_PATH, "w", encoding="utf-8").close()

@@ -1,0 +1,76 @@
+"""Block triangular form of a sparse matrix — the paper's motivating
+application (Section I: Dulmage-Mendelsohn decomposition for circuit
+simulation and sparse linear solvers).
+
+Builds a square sparse matrix with hidden block structure, computes its
+maximum matching with MS-BFS-Graft, derives the coarse Dulmage-Mendelsohn
+decomposition and the fine BTF permutation, and renders the permuted
+pattern as ASCII art so the triangular structure is visible.
+
+Run:  python examples/block_triangular_form.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import block_triangular_form, dulmage_mendelsohn, structural_rank
+from repro.graph.builder import from_edges, to_scipy_sparse
+
+
+def build_hidden_block_matrix(seed: int = 7):
+    """A 24x24 matrix that is block-triangularisable but scrambled.
+
+    Three coupled blocks of size 8 with one-way coupling between them, then
+    a random symmetric permutation to hide the structure.
+    """
+    rng = np.random.default_rng(seed)
+    n, b = 24, 8
+    edges = []
+    for blk in range(3):
+        lo = blk * b
+        # Dense-ish diagonal block with a cycle (one SCC per block).
+        for i in range(b):
+            edges.append((lo + i, lo + i))
+            edges.append((lo + i, lo + (i + 1) % b))
+        # One-way coupling into the next block (upper-triangular direction).
+        if blk < 2:
+            for _ in range(4):
+                edges.append((lo + int(rng.integers(b)), lo + b + int(rng.integers(b))))
+    perm_r = rng.permutation(n)
+    perm_c = rng.permutation(n)
+    scrambled = [(int(perm_r[i]), int(perm_c[j])) for i, j in edges]
+    return from_edges(n, n, scrambled)
+
+
+def ascii_pattern(dense: np.ndarray) -> str:
+    return "\n".join("".join("#" if v else "." for v in row) for row in dense)
+
+
+def main() -> None:
+    graph = build_hidden_block_matrix()
+    print("scrambled sparsity pattern:")
+    print(ascii_pattern(to_scipy_sparse(graph).toarray()))
+
+    result = repro.ms_bfs_graft(graph, emit_trace=False)
+    print(f"\nstructural rank (max matching): {structural_rank(graph, result.matching)}"
+          f" of {graph.n_x}")
+
+    dm = dulmage_mendelsohn(graph, result.matching)
+    print(dm.summary())
+
+    btf = block_triangular_form(graph, result.matching)
+    dense = to_scipy_sparse(graph).toarray()
+    permuted = dense[np.ix_(btf.row_perm, btf.col_perm)]
+    print(f"\nblock triangular form ({btf.num_square_blocks} diagonal blocks):")
+    print(ascii_pattern(permuted))
+
+    # Verify block-upper-triangularity of the square part explicitly.
+    bounds = btf.block_boundaries
+    for bi in range(btf.num_square_blocks):
+        lo, hi = bounds[bi], bounds[bi + 1]
+        assert not permuted[hi:, lo:hi].any(), "structure below a diagonal block"
+    print("\nverified: no entries below the diagonal blocks")
+
+
+if __name__ == "__main__":
+    main()

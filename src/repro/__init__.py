@@ -1,0 +1,66 @@
+"""repro — reproduction of "A Parallel Tree Grafting Algorithm for Maximum
+Cardinality Matching in Bipartite Graphs" (Azad, Buluç, Pothen, IPDPS 2015).
+
+Quickstart::
+
+    import repro
+
+    graph = repro.graph.rmat_bipartite(scale=14, edge_factor=8, seed=1)
+    init = repro.karp_sipser(graph, seed=1).matching
+    result = repro.ms_bfs_graft(graph, init)
+    print(result.cardinality, result.counters.phases)
+    repro.verify_maximum(graph, result.matching)
+
+Subpackages: :mod:`repro.graph` (bipartite CSR substrate, generators, I/O),
+:mod:`repro.matching` (initialisers, baseline maximum-matching algorithms,
+verification), :mod:`repro.core` (MS-BFS-Graft), :mod:`repro.parallel`
+(simulated NUMA machine + cost model), :mod:`repro.instrument` (counters,
+rates), :mod:`repro.apps` (Dulmage-Mendelsohn / block triangular form),
+:mod:`repro.bench` (experiment harness for every paper table and figure).
+"""
+
+from repro import graph
+from repro.core.driver import ms_bfs_graft
+from repro.errors import ReproError
+from repro.matching.base import Matching, MatchResult
+from repro.matching.greedy import greedy_matching
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.karp_sipser import karp_sipser
+from repro.matching.karp_sipser_parallel import karp_sipser_parallel
+from repro.matching.ms_bfs import ms_bfs
+from repro.matching.pothen_fan import pothen_fan
+from repro.matching.push_relabel import push_relabel
+from repro.matching.ss_bfs import ss_bfs
+from repro.matching.ss_dfs import ss_dfs
+from repro.matching.verify import is_maximum_matching, verify_maximum
+from repro.parallel.cost_model import CostModel
+from repro.parallel.machine import EDISON, LAPTOP, MIRASOL, MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "ms_bfs_graft",
+    "ms_bfs",
+    "karp_sipser",
+    "karp_sipser_parallel",
+    "greedy_matching",
+    "IncrementalMatcher",
+    "ss_bfs",
+    "ss_dfs",
+    "hopcroft_karp",
+    "pothen_fan",
+    "push_relabel",
+    "Matching",
+    "MatchResult",
+    "is_maximum_matching",
+    "verify_maximum",
+    "CostModel",
+    "MachineSpec",
+    "MIRASOL",
+    "EDISON",
+    "LAPTOP",
+    "ReproError",
+    "__version__",
+]

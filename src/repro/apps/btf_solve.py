@@ -1,0 +1,77 @@
+"""Solving a linear system through its block triangular form.
+
+The paper's opening motivation: "Once the BTF is obtained, in circuit
+simulations, sparse linear systems of equations can be solved faster". This
+module closes that loop: given a numerically-valued square sparse matrix
+whose pattern has a perfect matching, it computes the BTF permutation via
+maximum matching and solves ``A x = b`` by block back-substitution — each
+diagonal block solved densely, off-block contributions propagated — which
+touches only ``O(sum block^3)`` work instead of ``O(n^3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.btf import BlockTriangularForm, block_triangular_form
+from repro.errors import ReproError
+from repro.graph.builder import from_scipy_sparse
+from repro.matching.base import Matching
+
+
+def solve_btf(matrix, b: np.ndarray, matching: Matching | None = None) -> np.ndarray:
+    """Solve ``A x = b`` via block triangular form.
+
+    ``matrix`` is any scipy.sparse square matrix with structurally full
+    rank (its pattern admits a perfect matching) and numerically
+    non-singular diagonal blocks. ``matching`` may supply a precomputed
+    maximum matching of the pattern; otherwise MS-BFS-Graft computes one.
+
+    Returns ``x`` with ``A @ x = b`` (up to floating-point error). Raises
+    :class:`~repro.errors.ReproError` if the pattern is structurally
+    singular (no perfect matching).
+    """
+    import scipy.sparse as sp
+
+    A = sp.csr_matrix(matrix, dtype=np.float64)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ReproError(f"solve_btf needs a square matrix, got {A.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ReproError(f"b has shape {b.shape}, expected ({n},)")
+
+    graph = from_scipy_sparse(A)
+    if matching is None:
+        from repro.core.driver import ms_bfs_graft
+
+        matching = ms_bfs_graft(graph, emit_trace=False).matching
+    if matching.cardinality != n:
+        raise ReproError(
+            f"matrix is structurally singular: sprank {matching.cardinality} < {n}"
+        )
+    btf = block_triangular_form(graph, matching)
+    return _block_back_substitute(A, b, btf)
+
+
+def _block_back_substitute(A, b: np.ndarray, btf: BlockTriangularForm) -> np.ndarray:
+    """Back-substitution over the BTF's diagonal blocks.
+
+    With rows/columns permuted to block *upper* triangular form, solve the
+    last block first and eliminate its contribution from earlier blocks.
+    """
+    perm = A[btf.row_perm, :][:, btf.col_perm].toarray()
+    n = perm.shape[0]
+    rhs = b[btf.row_perm].astype(np.float64).copy()
+    x_perm = np.zeros(n)
+    bounds = btf.block_boundaries
+    for bi in range(btf.num_square_blocks - 1, -1, -1):
+        lo, hi = int(bounds[bi]), int(bounds[bi + 1])
+        block = perm[lo:hi, lo:hi]
+        x_perm[lo:hi] = np.linalg.solve(block, rhs[lo:hi])
+        if lo > 0:
+            rhs[:lo] -= perm[:lo, lo:hi] @ x_perm[lo:hi]
+    # Undo the column permutation: x[col_perm[k]] = x_perm[k].
+    x = np.zeros(n)
+    x[btf.col_perm] = x_perm
+    return x

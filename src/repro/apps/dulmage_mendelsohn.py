@@ -1,0 +1,114 @@
+"""Coarse Dulmage-Mendelsohn decomposition.
+
+Given a maximum matching M of the bipartite graph of a sparse matrix, the
+coarse DM decomposition splits rows (X) and columns (Y) into three parts:
+
+* **horizontal** ``(X_h, Y_h)`` — vertices reachable by M-alternating paths
+  from unmatched *columns*; X_h is perfectly matched into Y_h and
+  ``|Y_h| > |X_h|`` (underdetermined part);
+* **vertical** ``(X_v, Y_v)`` — vertices reachable by alternating paths
+  from unmatched *rows*; ``|X_v| > |Y_v|`` (overdetermined part);
+* **square** ``(X_s, Y_s)`` — everything else; perfectly matched.
+
+The decomposition is canonical: it does not depend on which maximum
+matching is used (a classical result), which our property tests exploit by
+computing it from different algorithms' matchings and comparing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.graph.csr import BipartiteCSR
+from repro.matching.base import UNMATCHED, Matching
+from repro.matching.verify import is_maximum_matching
+
+
+@dataclass(frozen=True)
+class DMDecomposition:
+    """Index arrays of the coarse DM parts (sorted, disjoint, exhaustive)."""
+
+    horizontal_x: np.ndarray
+    horizontal_y: np.ndarray
+    square_x: np.ndarray
+    square_y: np.ndarray
+    vertical_x: np.ndarray
+    vertical_y: np.ndarray
+
+    def summary(self) -> str:
+        return (
+            f"DM: horizontal ({self.horizontal_x.size} x {self.horizontal_y.size}), "
+            f"square ({self.square_x.size} x {self.square_y.size}), "
+            f"vertical ({self.vertical_x.size} x {self.vertical_y.size})"
+        )
+
+
+def dulmage_mendelsohn(graph: BipartiteCSR, matching: Matching) -> DMDecomposition:
+    """Coarse DM decomposition from a *maximum* matching.
+
+    Raises :class:`VerificationError` if ``matching`` is not maximum (the
+    decomposition is only defined for maximum matchings).
+    """
+    if not is_maximum_matching(graph, matching):
+        raise VerificationError("Dulmage-Mendelsohn needs a maximum matching")
+
+    # Alternating BFS from unmatched columns: free Y --(any edge)--> X
+    # --(matched edge)--> Y ...
+    reach_h_x = np.zeros(graph.n_x, dtype=bool)
+    reach_h_y = np.zeros(graph.n_y, dtype=bool)
+    queue: deque[int] = deque()
+    for y in matching.unmatched_y():
+        reach_h_y[y] = True
+        queue.append(int(y))
+    while queue:
+        y = queue.popleft()
+        for x in graph.neighbors_y(y):
+            x = int(x)
+            if reach_h_x[x]:
+                continue
+            reach_h_x[x] = True
+            mate = int(matching.mate_x[x])
+            # x must be matched: an unmatched x adjacent to a free/alternating
+            # -reachable y would be an augmenting path, contradicting
+            # maximality.
+            if mate != UNMATCHED and not reach_h_y[mate]:
+                reach_h_y[mate] = True
+                queue.append(mate)
+
+    # Alternating BFS from unmatched rows: free X --(any edge)--> Y
+    # --(matched edge)--> X ...
+    reach_v_x = np.zeros(graph.n_x, dtype=bool)
+    reach_v_y = np.zeros(graph.n_y, dtype=bool)
+    for x in matching.unmatched_x():
+        reach_v_x[x] = True
+        queue.append(int(x))
+    while queue:
+        x = queue.popleft()
+        for y in graph.neighbors_x(x):
+            y = int(y)
+            if reach_v_y[y]:
+                continue
+            reach_v_y[y] = True
+            mate = int(matching.mate_y[y])
+            if mate != UNMATCHED and not reach_v_x[mate]:
+                reach_v_x[mate] = True
+                queue.append(mate)
+
+    if bool(np.any(reach_h_x & reach_v_x)) or bool(np.any(reach_h_y & reach_v_y)):
+        raise VerificationError(
+            "horizontal and vertical parts overlap — matching was not maximum"
+        )
+    square_x = ~(reach_h_x | reach_v_x)
+    square_y = ~(reach_h_y | reach_v_y)
+    return DMDecomposition(
+        horizontal_x=np.flatnonzero(reach_h_x),
+        horizontal_y=np.flatnonzero(reach_h_y),
+        square_x=np.flatnonzero(square_x),
+        square_y=np.flatnonzero(square_y),
+        vertical_x=np.flatnonzero(reach_v_x),
+        vertical_y=np.flatnonzero(reach_v_y),
+    )

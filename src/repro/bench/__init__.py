@@ -1,0 +1,23 @@
+"""Benchmark harness: the paper's graph suite and experiment drivers.
+
+One driver per table/figure of the evaluation section; the ``benchmarks/``
+directory wraps these in pytest-benchmark targets, and ``repro.cli`` exposes
+them on the command line. All drivers return plain data structures plus a
+``render`` helper producing the paper-style ASCII table.
+"""
+
+from repro.bench.suite import SuiteGraph, build_suite, suite_specs, get_suite_graph
+from repro.bench.runner import run_algorithm, ALGORITHMS
+from repro.bench.report import format_table, format_bar_chart, format_series
+
+__all__ = [
+    "SuiteGraph",
+    "build_suite",
+    "suite_specs",
+    "get_suite_graph",
+    "run_algorithm",
+    "ALGORITHMS",
+    "format_table",
+    "format_bar_chart",
+    "format_series",
+]

@@ -1,0 +1,77 @@
+"""Fig. 1 — search properties of serial matching algorithms.
+
+Compares five algorithms (SS-DFS, SS-BFS, PF, MS-BFS, HK) on one graph per
+class (the paper uses kkt_power, cit-Patents, wikipedia) along the three
+properties of Section II-D:
+
+(a) number of traversed edges,
+(b) number of phases,
+(c) average augmenting path length.
+
+All runs share a Karp-Sipser initial matching, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_algorithm, suite_initializer
+from repro.bench.suite import get_suite_graph
+
+FIG1_GRAPHS = ("kkt-like", "citpatents-like", "wikipedia-like")
+FIG1_ALGORITHMS = ("ss-dfs", "ss-bfs", "pothen-fan", "ms-bfs", "hopcroft-karp")
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    graph: str
+    algorithm: str
+    edges_traversed: int
+    phases: int
+    avg_path_length: float
+    cardinality: int
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    rows: List[Fig1Row]
+
+    def by_graph(self) -> Dict[str, List[Fig1Row]]:
+        out: Dict[str, List[Fig1Row]] = {}
+        for row in self.rows:
+            out.setdefault(row.graph, []).append(row)
+        return out
+
+    def render(self) -> str:
+        return format_table(
+            ["graph", "algorithm", "edges traversed", "phases", "avg path len", "|M|"],
+            [
+                [r.graph, r.algorithm, r.edges_traversed, r.phases,
+                 r.avg_path_length, r.cardinality]
+                for r in self.rows
+            ],
+            title="Fig. 1: search properties of serial matching algorithms (KS init)",
+        )
+
+
+def run(scale: float = 0.3, seed: int = 0, graphs=FIG1_GRAPHS) -> Fig1Result:
+    """Run the Fig. 1 comparison (five serial algorithms, one graph per class)."""
+    rows: List[Fig1Row] = []
+    for name in graphs:
+        sg = get_suite_graph(name, scale=scale)
+        init = suite_initializer(sg.graph, seed=seed)
+        for algo in FIG1_ALGORITHMS:
+            result = run_algorithm(algo, sg.graph, init)
+            rows.append(
+                Fig1Row(
+                    graph=name,
+                    algorithm=algo,
+                    edges_traversed=result.counters.edges_traversed,
+                    phases=result.counters.phases,
+                    avg_path_length=result.counters.avg_augmenting_path_length,
+                    cardinality=result.cardinality,
+                )
+            )
+    return Fig1Result(rows=rows)

@@ -1,0 +1,103 @@
+"""Fig. 5 — strong scaling of MS-BFS-Graft on Mirasol and Edison.
+
+For each graph class: the class-average speedup of MS-BFS-Graft over its
+own single-thread simulation, across thread counts up to each machine's
+hardware-thread limit (Mirasol 40 cores + SMT to 80; Edison 24 cores + SMT
+to 48). The paper reports average 15x on 40 Mirasol cores and 12x on 24
+Edison cores, SMT adding ~22% / ~19%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.experiments._shared import DEFAULT_SCALE, SuiteRuns, run_suite_trio
+from repro.bench.report import format_line_chart, format_table
+from repro.parallel.cost_model import CostModel
+from repro.parallel.machine import EDISON, MIRASOL, MachineSpec
+from repro.util.stats import mean
+
+MIRASOL_THREADS = (1, 2, 5, 10, 20, 40, 80)
+EDISON_THREADS = (1, 2, 6, 12, 24, 48)
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    machine: str
+    group: str
+    threads: List[int]
+    speedups: List[float]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    curves: List[ScalingCurve]
+
+    def curve(self, machine: str, group: str) -> ScalingCurve:
+        for c in self.curves:
+            if c.machine == machine and c.group == group:
+                return c
+        raise KeyError((machine, group))
+
+    def render(self) -> str:
+        blocks = []
+        for machine in sorted({c.machine for c in self.curves}):
+            rows = []
+            series = {}
+            threads = None
+            for c in self.curves:
+                if c.machine != machine:
+                    continue
+                series[c.group] = c.speedups
+                threads = c.threads
+                for p, s in zip(c.threads, c.speedups):
+                    rows.append([c.group, p, s])
+            blocks.append(
+                format_table(
+                    ["class", "threads", "avg speedup"],
+                    rows,
+                    title=f"Fig. 5: strong scaling of MS-BFS-Graft on {machine} (simulated)",
+                )
+            )
+            blocks.append(
+                format_line_chart(
+                    series, threads, y_label="speedup vs threads:",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    machines: tuple[MachineSpec, ...] = (MIRASOL, EDISON),
+    suite_runs: SuiteRuns | None = None,
+) -> Fig5Result:
+    """Run the Fig. 5 strong-scaling experiment on both machines."""
+    suite_runs = suite_runs or run_suite_trio(
+        scale=scale, algorithms=("ms-bfs-graft",), seed=seed
+    )
+    curves: List[ScalingCurve] = []
+    for machine in machines:
+        thread_counts = [
+            p for p in (MIRASOL_THREADS if machine.name == "Mirasol" else EDISON_THREADS)
+            if p <= machine.max_threads
+        ]
+        model = CostModel(machine)
+        per_group: Dict[str, List[List[float]]] = {}
+        for trio in suite_runs.runs:
+            trace = trio.results["ms-bfs-graft"].trace
+            serial = model.simulate(trace, 1).seconds
+            speedups = [serial / model.simulate(trace, p).seconds for p in thread_counts]
+            per_group.setdefault(trio.suite_graph.group, []).append(speedups)
+        for group, runs in per_group.items():
+            curves.append(
+                ScalingCurve(
+                    machine=machine.name,
+                    group=group,
+                    threads=list(thread_counts),
+                    speedups=[mean(col) for col in zip(*runs)],
+                )
+            )
+    return Fig5Result(curves=curves)

@@ -1,0 +1,78 @@
+"""Fig. 6 — breakdown of the MS-BFS-Graft runtime by step.
+
+The paper instruments five steps: Top-Down and Bottom-Up traversal (step 1
+of Algorithm 3), Augmentation (step 2), Tree-Grafting (step 3's frontier
+rebuild), and Statistics (computing the active/renewable sets, Algorithm 7
+lines 2-4). Shares are taken from the simulated 40-thread time per region
+kind. Expected shape: >= 40% of time in BFS everywhere; augmentation and
+grafting shares grow on low-matching-number graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.experiments._shared import DEFAULT_SCALE, SuiteRuns, run_suite_trio
+from repro.bench.report import format_table
+from repro.parallel.cost_model import CostModel
+from repro.parallel.machine import MIRASOL, MachineSpec
+
+STEPS = ("topdown", "bottomup", "augment", "grafting", "statistics")
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    graph: str
+    group: str
+    fractions: Dict[str, float]
+
+    @property
+    def bfs_fraction(self) -> float:
+        return self.fractions.get("topdown", 0.0) + self.fractions.get("bottomup", 0.0)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    rows: List[Fig6Row]
+    machine: str
+    threads: int
+
+    def render(self) -> str:
+        return format_table(
+            ["graph", "class", *STEPS, "BFS total"],
+            [
+                [r.graph, r.group, *[f"{r.fractions.get(s, 0.0):.1%}" for s in STEPS],
+                 f"{r.bfs_fraction:.1%}"]
+                for r in self.rows
+            ],
+            title=(
+                f"Fig. 6: runtime breakdown of MS-BFS-Graft at {self.threads} threads "
+                f"of {self.machine} (simulated)"
+            ),
+        )
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    machine: MachineSpec = MIRASOL,
+    threads: int = 40,
+    seed: int = 0,
+    suite_runs: SuiteRuns | None = None,
+) -> Fig6Result:
+    """Run the Fig. 6 runtime-breakdown experiment."""
+    suite_runs = suite_runs or run_suite_trio(
+        scale=scale, algorithms=("ms-bfs-graft",), seed=seed
+    )
+    model = CostModel(machine)
+    rows: List[Fig6Row] = []
+    for trio in suite_runs.runs:
+        sim = model.simulate(trio.results["ms-bfs-graft"].trace, threads)
+        rows.append(
+            Fig6Row(
+                graph=trio.suite_graph.name,
+                group=trio.suite_graph.group,
+                fractions=sim.breakdown_fractions(),
+            )
+        )
+    return Fig6Result(rows=rows, machine=machine.name, threads=threads)

@@ -1,0 +1,89 @@
+"""Fig. 7 — performance contributions of direction optimization and
+tree grafting.
+
+Three variants of the same engine run on every suite graph: plain MS-BFS
+(Algorithm 2), MS-BFS + direction-optimizing BFS, and the full
+MS-BFS-Graft. Speedups are relative to plain MS-BFS at the same simulated
+thread count. Paper averages: direction optimization ~1.6x, grafting a
+further ~3x, with low-matching-number graphs gaining most from grafting
+(up to 7.8x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.experiments._shared import DEFAULT_SCALE, SuiteRuns, run_suite_trio
+from repro.bench.report import format_table
+from repro.parallel.cost_model import CostModel
+from repro.parallel.machine import MIRASOL, MachineSpec
+from repro.util.stats import geometric_mean
+
+VARIANTS = ("ms-bfs", "ms-bfs-do", "ms-bfs-graft")
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    graph: str
+    group: str
+    seconds: Dict[str, float]
+
+    def speedup_over_msbfs(self, variant: str) -> float:
+        return self.seconds["ms-bfs"] / self.seconds[variant]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    rows: List[Fig7Row]
+    machine: str
+    threads: int
+
+    def average_contribution(self) -> Dict[str, float]:
+        """Geomean speedup over MS-BFS for each variant."""
+        return {
+            v: geometric_mean([r.speedup_over_msbfs(v) for r in self.rows])
+            for v in VARIANTS
+        }
+
+    def render(self) -> str:
+        table = format_table(
+            ["graph", "class", *[f"x over ms-bfs ({v})" for v in VARIANTS]],
+            [
+                [r.graph, r.group, *[r.speedup_over_msbfs(v) for v in VARIANTS]]
+                for r in self.rows
+            ],
+            title=(
+                f"Fig. 7: contribution of direction optimization and grafting "
+                f"({self.threads} threads of {self.machine}, simulated)"
+            ),
+        )
+        avg = self.average_contribution()
+        return (
+            table
+            + "\n\naverage: direction optimization "
+            + f"{avg['ms-bfs-do']:.2f}x, "
+            + f"+ grafting {avg['ms-bfs-graft']:.2f}x "
+            + f"(grafting alone {avg['ms-bfs-graft'] / avg['ms-bfs-do']:.2f}x)"
+        )
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    machine: MachineSpec = MIRASOL,
+    threads: int = 40,
+    seed: int = 0,
+    suite_runs: SuiteRuns | None = None,
+) -> Fig7Result:
+    """Run the Fig. 7 contributions experiment."""
+    suite_runs = suite_runs or run_suite_trio(scale=scale, algorithms=VARIANTS, seed=seed)
+    model = CostModel(machine)
+    rows: List[Fig7Row] = []
+    for trio in suite_runs.runs:
+        seconds = {
+            v: model.simulate(trio.results[v].trace, threads).seconds for v in VARIANTS
+        }
+        rows.append(
+            Fig7Row(graph=trio.suite_graph.name, group=trio.suite_graph.group, seconds=seconds)
+        )
+    return Fig7Result(rows=rows, machine=machine.name, threads=threads)

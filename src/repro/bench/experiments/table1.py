@@ -1,0 +1,50 @@
+"""Table I — the experiment machines.
+
+The original table lists the two physical testbeds. Our reproduction runs
+them as simulated machine specifications; this driver prints the topology
+and the cost-model coefficients so every simulated-time experiment is
+reproducible from its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.report import format_table
+from repro.parallel.machine import EDISON, MIRASOL, MachineSpec
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    machines: List[MachineSpec]
+
+    def rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for m in self.machines:
+            rows.append(
+                [
+                    m.name,
+                    m.sockets,
+                    m.cores_per_socket,
+                    m.total_cores,
+                    m.max_threads,
+                    f"{m.clock_ghz:g} GHz",
+                    f"{m.numa_remote_factor:g}x",
+                    f"+{m.smt_gain:.0%}",
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            ["machine", "sockets", "cores/socket", "cores", "hw threads", "clock",
+             "NUMA remote", "SMT gain"],
+            self.rows(),
+            title="Table I: simulated machine specifications",
+        )
+
+
+def run(machines: List[MachineSpec] | None = None) -> Table1Result:
+    """Collect the machine specifications for Table I."""
+    return Table1Result(machines=machines or [MIRASOL, EDISON])

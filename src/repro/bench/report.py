@@ -1,0 +1,122 @@
+"""Plain-text rendering of experiment outputs (paper-style tables/figures).
+
+All experiment drivers print through these helpers so benchmark output looks
+uniform: a fixed-width table per paper table, a horizontal ASCII bar chart
+per bar figure, and level series for the frontier plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width table; floats are rendered with 3 significant decimals."""
+    rendered: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)
+
+
+def format_bar_chart(
+    data: Dict[str, float], *, width: int = 40, title: str | None = None, unit: str = ""
+) -> str:
+    """Horizontal bar chart, one labelled bar per entry."""
+    lines = [title] if title else []
+    if not data:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(data.values()) or 1.0
+    label_w = max(len(k) for k in data)
+    for key, value in data.items():
+        bar = "#" * max(1 if value > 0 else 0, int(round(width * value / peak)))
+        lines.append(f"{key.ljust(label_w)} |{bar.ljust(width)}| {value:,.3g}{unit}")
+    return "\n".join(lines)
+
+
+def format_line_chart(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float] | None = None,
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart (used for the Fig. 5 scaling curves).
+
+    Each series gets a marker character; points are plotted on a
+    ``height x width`` grid scaled to the data range, with a y-axis scale
+    on the left and a legend underneath.
+    """
+    lines: List[str] = [title] if title else []
+    if not series or all(len(v) == 0 for v in series.values()):
+        return "\n".join(lines + ["(no data)"])
+    markers = "ox+*#@%&"
+    max_len = max(len(v) for v in series.values())
+    xs = list(x_values) if x_values is not None else list(range(max_len))
+    y_max = max(max(v) for v in series.values() if len(v))
+    y_min = min(min(v) for v in series.values() if len(v))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max, x_min = max(xs), min(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for i, v in enumerate(values):
+            if i >= len(xs):
+                break
+            col = int(round((xs[i] - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((v - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    for r, row_chars in enumerate(grid):
+        value = y_max - (y_max - y_min) * r / (height - 1)
+        lines.append(f"{value:8.2f} |{''.join(row_chars)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:g}".ljust(width - 8) + f"{x_max:g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label}   {legend}".strip())
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[float]], *, title: str | None = None, x_label: str = "level"
+) -> str:
+    """Tabulated multi-series data (for the Fig. 8 frontier curves)."""
+    lines = [title] if title else []
+    length = max((len(v) for v in series.values()), default=0)
+    headers = [x_label] + list(series)
+    rows = []
+    for i in range(length):
+        row: List[object] = [i]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro-match run --graph rmat --scale 0.3 --algorithm ms-bfs-graft
+    repro-match suite --scale 0.2
+    repro-match experiment fig3 --scale 0.2
+    repro-match experiment all --scale 0.2
+    repro-match match path/to/matrix.mtx --algorithm hopcroft-karp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench import experiments
+from repro.bench.runner import ALGORITHMS, run_algorithm
+from repro.bench.suite import build_suite, get_suite_graph, suite_specs
+from repro.graph.io import read_matrix_market
+from repro.matching.verify import verify_maximum
+
+_EXPERIMENTS: Dict[str, Callable[[float], object]] = {
+    "table1": lambda scale: experiments.table1.run(),
+    "table2": lambda scale: experiments.table2.run(scale=scale),
+    "fig1": lambda scale: experiments.fig1.run(scale=scale),
+    "fig3": lambda scale: experiments.fig3.run(scale=scale),
+    "fig4": lambda scale: experiments.fig4.run(scale=scale),
+    "fig5": lambda scale: experiments.fig5.run(scale=scale),
+    "fig6": lambda scale: experiments.fig6.run(scale=scale),
+    "fig7": lambda scale: experiments.fig7.run(scale=scale),
+    "fig8": lambda scale: experiments.fig8.run(scale=scale),
+    "sensitivity": lambda scale: experiments.sensitivity.run(scale=scale, runs=5),
+    "ablation-alpha": lambda scale: experiments.ablation.alpha_sweep(scale=scale),
+    "ablation-init": lambda scale: experiments.ablation.initializer_comparison(scale=scale),
+    "ablation-queue": lambda scale: experiments.ablation.queue_capacity_sweep(scale=scale),
+    "ablation-direction": lambda scale: experiments.ablation.direction_strategy_comparison(scale=scale),
+    "serial-walltime": lambda scale: experiments.serial_walltime.run(scale=scale),
+    "phase-dynamics": lambda scale: experiments.phase_dynamics.run(scale=scale),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sg = get_suite_graph(args.graph, scale=args.scale)
+    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed)
+    verify_maximum(sg.graph, result.matching)
+    if args.report:
+        from repro.instrument.report import run_report
+
+        print(f"graph        : {args.graph} ({sg.paper_counterpart})")
+        print(run_report(result))
+        return 0
+    c = result.counters
+    print(f"graph        : {args.graph} ({sg.paper_counterpart}); n={sg.graph.num_vertices:,} m={sg.graph.num_directed_edges:,}")
+    print(f"algorithm    : {result.algorithm}")
+    print(f"|M|          : {result.cardinality:,} (maximum, certified)")
+    print(f"fraction     : {result.matching.matching_fraction():.4f} of |V|")
+    print(f"edges        : {c.edges_traversed:,} traversed")
+    print(f"phases       : {c.phases}")
+    print(f"augmentations: {c.augmentations} (avg path length {c.avg_augmenting_path_length:.2f})")
+    print(f"wall time    : {result.wall_seconds:.3f}s")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    print(experiments.table2.run(scale=args.scale).render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        fn = _EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; known: {', '.join(_EXPERIMENTS)} or 'all'",
+                  file=sys.stderr)
+            return 2
+        result = fn(args.scale)
+        print(result.render())
+        print()
+    return 0
+
+
+def _read_graph_file(path: str, fmt: str):
+    """Load a graph file by format name (mtx, snap, dimacs, or auto)."""
+    from repro.graph.readers import read_dimacs, read_snap_edgelist
+
+    readers = {"mtx": read_matrix_market, "snap": read_snap_edgelist,
+               "dimacs": read_dimacs}
+    if fmt == "auto":
+        suffix = path.rsplit(".", 1)[-1].lower()
+        fmt = {"mtx": "mtx", "gr": "dimacs", "dimacs": "dimacs",
+               "txt": "snap", "snap": "snap", "edges": "snap"}.get(suffix, "mtx")
+    return readers[fmt](path)
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    graph = _read_graph_file(args.path, args.format)
+    result = run_algorithm(args.algorithm, graph, seed=args.seed)
+    verify_maximum(graph, result.matching)
+    print(f"{args.path}: n_rows={graph.n_x:,} n_cols={graph.n_y:,} nnz={graph.nnz:,}")
+    print(f"maximum matching (structural rank): {result.cardinality:,}")
+    print(f"algorithm {result.algorithm}: {result.counters.edges_traversed:,} edges, "
+          f"{result.counters.phases} phases, {result.wall_seconds:.3f}s")
+    return 0
+
+
+def _cmd_report_all(args: argparse.Namespace) -> int:
+    """Run every experiment and write one consolidated report file."""
+    lines = []
+    for name, fn in _EXPERIMENTS.items():
+        lines.append("=" * 78)
+        lines.append(name)
+        lines.append("=" * 78)
+        lines.append(fn(args.scale).render())
+        lines.append("")
+    text = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(_EXPERIMENTS)} experiment reports to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.io import write_matrix_market
+    from repro.graph.serialize import save_graph
+
+    sg = get_suite_graph(args.graph, scale=args.scale)
+    if args.out.endswith(".npz"):
+        save_graph(sg.graph, args.out)
+    else:
+        write_matrix_market(sg.graph, args.out)
+    print(f"wrote {args.graph} (n={sg.graph.num_vertices:,}, "
+          f"m={sg.graph.num_directed_edges:,}) to {args.out}")
+    return 0
+
+
+def _cmd_btf(args: argparse.Namespace) -> int:
+    from repro.apps.btf import block_triangular_form
+    from repro.apps.dulmage_mendelsohn import dulmage_mendelsohn
+    from repro.core.driver import ms_bfs_graft
+
+    graph = read_matrix_market(args.path)
+    result = ms_bfs_graft(graph, emit_trace=False)
+    verify_maximum(graph, result.matching)
+    dm = dulmage_mendelsohn(graph, result.matching)
+    btf = block_triangular_form(graph, result.matching)
+    print(f"{args.path}: n_rows={graph.n_x:,} n_cols={graph.n_y:,} nnz={graph.nnz:,}")
+    print(f"structural rank: {result.cardinality:,}")
+    print(dm.summary())
+    print(f"square part: {btf.num_square_blocks} diagonal blocks")
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from repro.distributed import (
+        BSPCostModel,
+        ClusterSpec,
+        distributed_ms_bfs_graft,
+        distributed_ms_bfs_graft_2d,
+    )
+
+    engine = (
+        distributed_ms_bfs_graft_2d if args.decomposition == "2d"
+        else distributed_ms_bfs_graft
+    )
+    sg = get_suite_graph(args.graph, scale=args.scale)
+    from repro.bench.runner import suite_initializer
+
+    init = suite_initializer(sg.graph, seed=args.seed)
+    print(f"graph {args.graph}: n={sg.graph.num_vertices:,}, "
+          f"m={sg.graph.num_directed_edges:,} [{args.decomposition.upper()} decomposition]")
+    for ranks in args.ranks:
+        result = engine(sg.graph, init, ranks=ranks)
+        verify_maximum(sg.graph, result.matching)
+        total, comp, comm = BSPCostModel(
+            ClusterSpec(name="cluster", ranks=ranks)
+        ).decompose(result.log)
+        print(f"  ranks={ranks:4d}: |M|={result.cardinality:,} "
+              f"supersteps={result.log.num_supersteps} "
+              f"total={total * 1e3:.3f}ms (compute {comp * 1e3:.3f}, comm {comm * 1e3:.3f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-match argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-match",
+        description="MS-BFS-Graft maximum bipartite matching (IPDPS 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one algorithm on one suite graph")
+    p_run.add_argument("--graph", choices=suite_specs(), default="rmat")
+    p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
+    p_run.add_argument("--scale", type=float, default=0.3)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--report", action="store_true",
+                       help="print the full instrumented run report")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="print the Table II suite report")
+    p_suite.add_argument("--scale", type=float, default=0.3)
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment by id")
+    p_exp.add_argument("name", choices=[*_EXPERIMENTS, "all"])
+    p_exp.add_argument("--scale", type=float, default=0.2)
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_match = sub.add_parser("match", help="match a MatrixMarket file")
+    p_match.add_argument("path")
+    p_match.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
+    p_match.add_argument("--seed", type=int, default=0)
+    p_match.add_argument("--format", choices=["auto", "mtx", "snap", "dimacs"],
+                         default="auto")
+    p_match.set_defaults(fn=_cmd_match)
+
+    p_rep = sub.add_parser("report-all", help="run every experiment into one report")
+    p_rep.add_argument("--scale", type=float, default=0.2)
+    p_rep.add_argument("--out", default=None)
+    p_rep.set_defaults(fn=_cmd_report_all)
+
+    p_gen = sub.add_parser("generate", help="write a suite graph to .mtx or .npz")
+    p_gen.add_argument("--graph", choices=suite_specs(), default="rmat")
+    p_gen.add_argument("--scale", type=float, default=0.3)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_btf = sub.add_parser("btf", help="Dulmage-Mendelsohn/BTF report for a MatrixMarket file")
+    p_btf.add_argument("path")
+    p_btf.set_defaults(fn=_cmd_btf)
+
+    p_dist = sub.add_parser("distributed", help="run distributed MS-BFS-Graft (BSP model)")
+    p_dist.add_argument("--graph", choices=suite_specs(), default="copapers-like")
+    p_dist.add_argument("--scale", type=float, default=0.3)
+    p_dist.add_argument("--seed", type=int, default=0)
+    p_dist.add_argument("--ranks", type=int, nargs="+", default=[1, 4, 16, 64])
+    p_dist.add_argument("--decomposition", choices=["1d", "2d"], default="1d")
+    p_dist.set_defaults(fn=_cmd_distributed)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Public entry point for the MS-BFS-Graft algorithm."""
+
+from __future__ import annotations
+
+from repro.core.engine_interleaved import run_interleaved
+from repro.core.engine_numpy import run_numpy
+from repro.core.engine_python import run_python
+from repro.core.options import GraftOptions
+from repro.errors import ReproError
+from repro.graph.csr import BipartiteCSR
+from repro.matching.base import MatchResult, Matching
+from repro.util.rng import SeedLike
+
+_ENGINES = ("numpy", "python", "interleaved")
+
+
+def ms_bfs_graft(
+    graph: BipartiteCSR,
+    initial: Matching | None = None,
+    *,
+    alpha: float = 5.0,
+    direction_optimizing: bool = True,
+    grafting: bool = True,
+    direction_strategy: str = "vertex",
+    engine: str = "numpy",
+    record_frontiers: bool = False,
+    emit_trace: bool = True,
+    check_invariants: bool = False,
+    threads: int = 4,
+    seed: SeedLike = 0,
+) -> MatchResult:
+    """Maximum cardinality bipartite matching by MS-BFS with tree grafting.
+
+    Implements Algorithm 3 of Azad, Buluç & Pothen (IPDPS 2015): phases of
+    multi-source alternating BFS with direction optimization, parallel
+    augmentation, and tree grafting.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph; searches start from unmatched X vertices.
+    initial:
+        Starting matching (typically Karp-Sipser); the empty matching when
+        omitted. Never mutated.
+    alpha:
+        Threshold for both the top-down/bottom-up switch and the grafting
+        profitability test (paper default 5).
+    direction_optimizing, grafting:
+        Feature flags; disabling both yields plain MS-BFS (Algorithm 2).
+    direction_strategy:
+        ``"vertex"`` (the paper's |F| vs unvisited count rule) or ``"edge"``
+        (Beamer's degree-weighted rule); see
+        :class:`~repro.core.options.GraftOptions`.
+    engine:
+        ``"numpy"`` (vectorized, parallel semantics, emits work traces),
+        ``"python"`` (serial reference), or ``"interleaved"`` (simulated
+        concurrent execution; honours ``threads`` and ``seed``).
+    record_frontiers:
+        Record per-level frontier sizes (Fig. 8).
+    emit_trace:
+        Emit a :class:`~repro.parallel.trace.WorkTrace` (numpy engine only).
+    check_invariants:
+        Assert forest invariants each phase (slow; for tests).
+    threads, seed:
+        Interleaved engine: simulated thread count and schedule seed.
+
+    Returns
+    -------
+    MatchResult
+        Maximum matching plus counters, step breakdown, and optional trace /
+        frontier log.
+    """
+    options = GraftOptions(
+        alpha=alpha,
+        direction_optimizing=direction_optimizing,
+        grafting=grafting,
+        direction_strategy=direction_strategy,
+        record_frontiers=record_frontiers,
+        emit_trace=emit_trace,
+        check_invariants=check_invariants,
+    )
+    if engine == "numpy":
+        return run_numpy(graph, initial, options)
+    if engine == "python":
+        return run_python(graph, initial, options)
+    if engine == "interleaved":
+        return run_interleaved(graph, initial, options, threads=threads, seed=seed)
+    raise ReproError(f"unknown engine {engine!r}; expected one of {_ENGINES}")

@@ -1,0 +1,199 @@
+"""MS-BFS-Graft executed on the interleaved thread simulator.
+
+Every ``parallel for`` of Algorithm 3 runs as simulated threads whose steps
+interleave in a seeded random order (:class:`InterleavedSimulator`), with
+``visited`` claims going through a simulated compare-and-swap and ``leaf``
+updates left racy on purpose — the paper's benign race. Different seeds
+reach different (all correct) executions; the race-semantics tests sweep
+seeds and assert that the final matching is always maximum and the forest
+invariants always hold.
+
+This engine exists to *validate concurrency semantics*, not for speed: it
+steps a generator per traversed edge, so keep graphs small (tests use a few
+hundred vertices).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Generator, List
+
+import numpy as np
+
+from repro.core.forest import ForestState
+from repro.core.options import GraftOptions
+from repro.graph.csr import BipartiteCSR
+from repro.instrument.counters import Counters
+from repro.matching._common import adjacency_lists
+from repro.matching.base import UNMATCHED, MatchResult, Matching, init_matching
+from repro.parallel.atomics import AtomicArray
+from repro.parallel.simulator import InterleavedSimulator, SimThreadState
+from repro.util.rng import SeedLike
+
+
+def run_interleaved(
+    graph: BipartiteCSR,
+    initial: Matching | None,
+    options: GraftOptions,
+    *,
+    threads: int = 4,
+    seed: SeedLike = 0,
+) -> MatchResult:
+    """MS-BFS-Graft under simulated concurrent execution."""
+    start = time.perf_counter()
+    matching = init_matching(graph, initial)
+    counters = Counters()
+    state = ForestState.for_graph(graph)
+    visited = AtomicArray(state.visited)
+    x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
+    mate_x = matching.mate_x
+    mate_y = matching.mate_y
+    parent, root_x, root_y, leaf = state.parent, state.root_x, state.root_y, state.leaf
+    sim = InterleavedSimulator(threads, seed)
+    alpha = options.alpha
+    edges = 0
+    deg_x = np.diff(graph.x_ptr)
+    deg_y = np.diff(graph.y_ptr)
+
+    def prefer_top_down(frontier: np.ndarray) -> bool:
+        if not options.direction_optimizing:
+            return True
+        if options.direction_strategy == "edge":
+            frontier_edges = int(deg_x[frontier].sum())
+            unvisited_edges = int(deg_y[state.visited == 0].sum())
+            return frontier_edges < unvisited_edges / alpha
+        return frontier.size < state.num_unvisited_y / alpha
+
+    def topdown_program(x: int, ts: SimThreadState) -> Generator[None, None, None]:
+        nonlocal edges
+        rx = int(root_x[x])
+        if rx == UNMATCHED or leaf[rx] != UNMATCHED:
+            return
+        for i in range(x_ptr[x], x_ptr[x + 1]):
+            yield  # one interleaving point per scanned edge
+            edges += 1
+            if leaf[rx] != UNMATCHED:
+                break  # racy read — may miss a concurrent leaf write; benign
+            y = x_adj[i]
+            if visited.load(y):
+                continue  # cheap pre-check before the atomic (Section III-B)
+            yield  # check-then-act window: another thread may claim y here
+            if not visited.compare_and_swap(y, 0, 1):
+                continue  # lost the claim race
+            # The claim won: this thread owns y's pointers.
+            parent[y] = x
+            root_y[y] = rx
+            state.num_unvisited_y -= 1
+            mate = int(mate_y[y])
+            if mate != UNMATCHED:
+                root_x[mate] = rx
+                ts.local["queue"].append(mate)
+            else:
+                leaf[rx] = y  # benign race: last concurrent writer wins
+
+    def bottomup_program(y: int, ts: SimThreadState) -> Generator[None, None, None]:
+        nonlocal edges
+        for i in range(y_ptr[y], y_ptr[y + 1]):
+            yield
+            edges += 1
+            x = y_adj[i]
+            rx = int(root_x[x])
+            if rx == UNMATCHED or leaf[rx] != UNMATCHED:
+                continue
+            # y is owned by this thread: plain store, no atomic needed.
+            if not visited.load(y):
+                state.num_unvisited_y -= 1
+            visited.store(y, 1)
+            parent[y] = x
+            root_y[y] = rx
+            mate = int(mate_y[y])
+            if mate != UNMATCHED:
+                root_x[mate] = rx
+                ts.local["queue"].append(mate)
+            else:
+                leaf[rx] = y
+            break
+
+    def run_region(items: np.ndarray, program) -> np.ndarray:
+        thread_states = sim.parallel_for(
+            items,
+            program,
+            on_thread_start=lambda ts: ts.local.__setitem__("queue", []),
+        )
+        merged: List[int] = []
+        for ts in thread_states:
+            merged.extend(ts.local["queue"])
+        return np.asarray(merged, dtype=np.int64)
+
+    frontier = matching.unmatched_x()
+    root_x[frontier] = frontier
+    leaf[frontier] = UNMATCHED
+
+    while True:
+        counters.phases += 1
+        # Step 1: BFS forest.
+        while frontier.size:
+            if state.num_unvisited_y == 0:
+                frontier = frontier[:0]
+                break
+            counters.bfs_levels += 1
+            if prefer_top_down(frontier):
+                counters.topdown_steps += 1
+                frontier = run_region(frontier, topdown_program)
+            else:
+                counters.bottomup_steps += 1
+                rows = np.flatnonzero(state.visited == 0)
+                frontier = run_region(rows, bottomup_program)
+
+        # Step 2: augment (paths are vertex-disjoint; order is irrelevant).
+        augmented = 0
+        for x0 in np.flatnonzero((mate_x == UNMATCHED) & (leaf != UNMATCHED)):
+            y = int(leaf[x0])
+            length = 0
+            while True:
+                x = int(parent[y])
+                prev_mate = int(mate_x[x])
+                mate_x[x] = y
+                mate_y[y] = x
+                length += 1
+                if prev_mate == UNMATCHED:
+                    break
+                y = prev_mate
+                length += 1
+            counters.record_path(length)
+            augmented += 1
+        if augmented == 0:
+            break
+
+        # Step 3: GRAFT.
+        renewable_x = np.flatnonzero(state.renewable_x_mask())
+        root_x[renewable_x] = UNMATCHED
+        active_x_count = int(np.count_nonzero(root_x != UNMATCHED))
+        active_y = np.flatnonzero(state.active_y_mask())
+        renewable_y = np.flatnonzero(state.renewable_y_mask())
+        state.visited[renewable_y] = 0
+        root_y[renewable_y] = UNMATCHED
+        state.num_unvisited_y += int(renewable_y.size)
+        if options.grafting and active_x_count > renewable_y.size / alpha:
+            before = state.num_unvisited_y
+            frontier = run_region(renewable_y, bottomup_program)
+            counters.grafts += before - state.num_unvisited_y
+        else:
+            counters.tree_rebuilds += 1
+            state.visited[active_y] = 0
+            root_y[active_y] = UNMATCHED
+            state.num_unvisited_y += int(active_y.size)
+            root_x[:] = UNMATCHED
+            frontier = matching.unmatched_x()
+            root_x[frontier] = frontier
+            leaf[frontier] = UNMATCHED
+        if options.check_invariants:
+            state.check_invariants(graph, matching)
+
+    counters.edges_traversed = edges
+    return MatchResult(
+        matching=matching,
+        algorithm=options.algorithm_name + "-interleaved",
+        counters=counters,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,151 @@
+"""Vectorized MS-BFS-Graft engine (parallel semantics + work-trace emission).
+
+This is the engine behind all parallel experiments: it executes the
+algorithm with the level-synchronous parallel semantics of the paper's
+OpenMP implementation and records one :class:`ParallelRegion` per barrier —
+top-down levels, bottom-up levels, the augmentation scan, the grafting
+sweep, and the GRAFT statistics pass — which the simulated machine then
+schedules onto threads.
+
+Region kinds match the paper's Fig. 6 legend: ``topdown``, ``bottomup``,
+``augment``, ``grafting``, ``statistics``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.forest import ForestState
+from repro.core.options import GraftOptions
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.instrument.counters import Counters
+from repro.instrument.frontier import FrontierLog
+from repro.matching.base import MatchResult, Matching, init_matching
+from repro.parallel.trace import WorkTrace
+from repro.util.timer import StepTimer
+
+
+def run_numpy(
+    graph: BipartiteCSR, initial: Matching | None, options: GraftOptions
+) -> MatchResult:
+    """MS-BFS-Graft with vectorized kernels; emits a work trace."""
+    start = time.perf_counter()
+    matching = init_matching(graph, initial)
+    counters = Counters()
+    timer = StepTimer()
+    trace = WorkTrace() if options.emit_trace else None
+    frontier_log = FrontierLog() if options.record_frontiers else None
+    state = ForestState.for_graph(graph)
+    alpha = options.alpha
+    deg_x = np.diff(graph.x_ptr)
+    deg_y = np.diff(graph.y_ptr)
+
+    def prefer_top_down(frontier: np.ndarray) -> bool:
+        if not options.direction_optimizing:
+            return True
+        if options.direction_strategy == "edge":
+            frontier_edges = int(deg_x[frontier].sum())
+            unvisited_edges = int(deg_y[state.visited == 0].sum())
+            return frontier_edges < unvisited_edges / alpha
+        return frontier.size < state.num_unvisited_y / alpha
+
+    frontier = kernels.rebuild_from_unmatched(state, matching)
+
+    while True:
+        counters.phases += 1
+        if frontier_log is not None:
+            frontier_log.start_phase()
+
+        # --- Step 1: grow the alternating BFS forest ------------------- #
+        while frontier.size:
+            if state.num_unvisited_y == 0:
+                # No undiscovered Y vertex remains: the frontier cannot make
+                # progress or find an augmenting path, so the phase is over.
+                frontier = frontier[:0]
+                break
+            if frontier_log is not None:
+                frontier_log.record(int(frontier.size))
+            counters.bfs_levels += 1
+            if prefer_top_down(frontier):
+                counters.topdown_steps += 1
+                with timer.step("topdown"):
+                    stats = kernels.topdown_level(graph, state, matching, frontier)
+                if trace is not None:
+                    trace.add(
+                        "topdown",
+                        stats.item_costs,
+                        atomics=stats.attempts,
+                        queue_appends=int(stats.next_frontier.size),
+                    )
+            else:
+                counters.bottomup_steps += 1
+                with timer.step("bottomup"):
+                    rows = np.flatnonzero(state.visited == 0).astype(INDEX_DTYPE)
+                    stats = kernels.bottomup_level(graph, state, matching, rows)
+                if trace is not None:
+                    trace.add(
+                        "bottomup",
+                        stats.item_costs,
+                        queue_appends=int(stats.next_frontier.size),
+                    )
+            counters.edges_traversed += stats.edges
+            frontier = stats.next_frontier
+
+        # --- Step 2: augment along the discovered paths ---------------- #
+        with timer.step("augment"):
+            roots, lengths = kernels.augment_all(state, matching)
+        for length in lengths:
+            counters.record_path(length)
+        if trace is not None and lengths:
+            trace.add(
+                "augment",
+                np.asarray(lengths, dtype=np.float64),
+                memory_pattern="irregular",
+            )
+        if not lengths:
+            break  # no augmenting path in this phase: maximum reached
+
+        # --- Step 3: rebuild the frontier (GRAFT) ---------------------- #
+        with timer.step("statistics"):
+            gstats = kernels.graft_statistics(state)
+        if trace is not None:
+            trace.add_uniform("statistics", graph.n_x + graph.n_y, 1.0)
+        with timer.step("grafting"):
+            kernels.reset_rows(state, gstats.renewable_y)
+            use_graft = options.grafting and (
+                gstats.active_x_count > gstats.renewable_y.size / alpha
+            )
+            if use_graft:
+                stats = kernels.bottomup_level(graph, state, matching, gstats.renewable_y)
+                counters.edges_traversed += stats.edges
+                counters.grafts += stats.claims
+                frontier = stats.next_frontier
+                if trace is not None:
+                    trace.add(
+                        "grafting",
+                        stats.item_costs,
+                        queue_appends=int(stats.next_frontier.size),
+                    )
+            else:
+                counters.tree_rebuilds += 1
+                kernels.reset_rows(state, gstats.active_y)
+                frontier = kernels.rebuild_from_unmatched(state, matching)
+                if trace is not None:
+                    trace.add_uniform(
+                        "grafting", int(gstats.active_y.size) + int(frontier.size), 1.0
+                    )
+        if options.check_invariants:
+            state.check_invariants(graph, matching)
+
+    return MatchResult(
+        matching=matching,
+        algorithm=options.algorithm_name,
+        counters=counters,
+        trace=trace,
+        breakdown=dict(timer.totals),
+        frontier_log=frontier_log,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,118 @@
+"""Alternating-forest state for the MS-BFS-Graft algorithm.
+
+Exactly the pointer arrays of the paper's Section III-B:
+
+* ``visited[y]`` — y is part of some current tree (ensures
+  vertex-disjointness);
+* ``parent[y]`` — the X vertex that discovered y;
+* ``root_x[x]`` / ``root_y[y]`` — root (an unmatched X vertex) of the tree
+  containing the vertex, -1 if in no tree;
+* ``leaf[x]`` — for a tree root x: the unmatched Y leaf of its augmenting
+  path, or -1 while the tree is *active*. A tree whose root has
+  ``leaf != -1`` is *renewable*.
+
+Matched X vertices are entered through their mates, so they need no visited
+flag or parent pointer (their tree path continues through ``mate``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.matching.base import UNMATCHED, Matching
+
+
+class ForestState:
+    """Mutable forest arrays plus the unvisited-Y counter for direction
+    optimization."""
+
+    __slots__ = ("n_x", "n_y", "visited", "parent", "root_x", "root_y", "leaf", "num_unvisited_y")
+
+    def __init__(self, n_x: int, n_y: int) -> None:
+        self.n_x = n_x
+        self.n_y = n_y
+        self.visited = np.zeros(n_y, dtype=np.uint8)
+        self.parent = np.full(n_y, UNMATCHED, dtype=INDEX_DTYPE)
+        self.root_x = np.full(n_x, UNMATCHED, dtype=INDEX_DTYPE)
+        self.root_y = np.full(n_y, UNMATCHED, dtype=INDEX_DTYPE)
+        self.leaf = np.full(n_x, UNMATCHED, dtype=INDEX_DTYPE)
+        self.num_unvisited_y = n_y
+
+    @classmethod
+    def for_graph(cls, graph: BipartiteCSR) -> "ForestState":
+        return cls(graph.n_x, graph.n_y)
+
+    # ------------------------------------------------------------------ #
+    # set queries (the GRAFT step's "Statistics" pass, Alg. 7 lines 2-4)
+    # ------------------------------------------------------------------ #
+
+    def active_x_mask(self) -> np.ndarray:
+        """X vertices in an active tree: root set and root's leaf unset."""
+        safe = np.where(self.root_x >= 0, self.root_x, 0)
+        return (self.root_x != UNMATCHED) & (self.leaf[safe] == UNMATCHED)
+
+    def renewable_x_mask(self) -> np.ndarray:
+        safe = np.where(self.root_x >= 0, self.root_x, 0)
+        return (self.root_x != UNMATCHED) & (self.leaf[safe] != UNMATCHED)
+
+    def active_y_mask(self) -> np.ndarray:
+        safe = np.where(self.root_y >= 0, self.root_y, 0)
+        return (self.root_y != UNMATCHED) & (self.leaf[safe] == UNMATCHED)
+
+    def renewable_y_mask(self) -> np.ndarray:
+        safe = np.where(self.root_y >= 0, self.root_y, 0)
+        return (self.root_y != UNMATCHED) & (self.leaf[safe] != UNMATCHED)
+
+    # ------------------------------------------------------------------ #
+    # invariant checking (used by tests and the interleaved-race suite)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self, graph: BipartiteCSR, matching: Matching) -> None:
+        """Assert the structural invariants of an alternating forest.
+
+        * every visited y has a parent that is a graph neighbour and a root;
+        * trees are vertex-disjoint (each y has exactly one parent edge —
+          implied by the single parent array, checked via root consistency);
+        * parent chains alternate: ``parent[y]`` is either the tree root
+          (unmatched) or a matched X vertex whose mate is also in the tree
+          with the same root;
+        * a root's ``leaf`` points to a y in its own tree.
+        """
+        visited_idx = np.flatnonzero(self.visited != 0)
+        for y in visited_idx:
+            y = int(y)
+            x = int(self.parent[y])
+            assert x != UNMATCHED, f"visited y={y} has no parent"
+            assert graph.has_edge(x, y), f"parent edge ({x}, {y}) not in graph"
+            assert self.root_y[y] != UNMATCHED, f"visited y={y} has no root"
+            assert self.root_x[x] == self.root_y[y], (
+                f"parent x={x} root {self.root_x[x]} != y={y} root {self.root_y[y]}"
+            )
+            root = int(self.root_y[y])
+            assert matching.mate_x[root] == UNMATCHED or self.leaf[root] != UNMATCHED, (
+                f"tree root {root} is matched but its tree is not renewable"
+            )
+        roots = np.flatnonzero((self.root_x == np.arange(self.n_x)) & (self.leaf != UNMATCHED))
+        for x0 in roots:
+            y0 = int(self.leaf[x0])
+            if self.visited[y0]:
+                assert self.root_y[y0] == x0, (
+                    f"leaf[{x0}]={y0} lies in tree {self.root_y[y0]}"
+                )
+
+    def alternating_path_to_root(self, matching: Matching, y0: int) -> list[int]:
+        """The tree path from y0 up to its root, as ``[y0, x1, y1, ..., root]``.
+
+        Follows parent then mate pointers; used by augmentation and tests.
+        """
+        path = [int(y0)]
+        y = int(y0)
+        while True:
+            x = int(self.parent[y])
+            path.append(x)
+            nxt = int(matching.mate_x[x])
+            if nxt == UNMATCHED:
+                return path
+            path.append(nxt)
+            y = nxt

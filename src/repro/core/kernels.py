@@ -1,0 +1,246 @@
+"""Vectorized (numpy) level kernels for MS-BFS-Graft.
+
+These kernels implement one barrier-delimited parallel region each, with the
+*parallel* semantics of the paper's OpenMP implementation: every work item
+of a level acts on the level-start state; conflicting ``visited`` claims are
+resolved to a single winner (the serialisation real atomics would impose —
+we pick the first claimant in frontier order, deterministically); multiple
+augmenting-path endpoints in one tree are the paper's benign ``leaf`` race —
+a single winner is kept.
+
+Each kernel returns the next frontier plus the statistics the work trace
+needs (per-item costs, atomic counts, traversed edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forest import ForestState
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.matching.base import UNMATCHED, Matching
+
+
+@dataclass
+class LevelStats:
+    """What one kernel invocation did (work-trace + counter input)."""
+
+    next_frontier: np.ndarray
+    item_costs: np.ndarray
+    edges: int
+    claims: int
+    """Successful visited-flag claims (atomic CAS wins)."""
+    attempts: int
+    """Total claim attempts (wins + losses); losses model CAS contention."""
+    endpoints: int
+    """Unmatched Y vertices reached (augmenting paths discovered)."""
+
+
+def _gather_segments(ptr: np.ndarray, adj: np.ndarray, rows: np.ndarray):
+    """Concatenate the adjacency slices of ``rows``.
+
+    Returns ``(sources, targets, offsets)`` where ``sources[k]`` is the row
+    owning edge slot ``k``, ``targets[k]`` its neighbour, and ``offsets``
+    the per-row segment boundaries (len(rows)+1).
+    """
+    deg = ptr[rows + 1] - ptr[rows]
+    total = int(deg.sum())
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(deg)])
+    if total == 0:
+        return (
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            offsets,
+        )
+    # Edge slot k belongs to row r with offsets[r] <= k < offsets[r+1]; its
+    # position in adj is ptr[rows[r]] + (k - offsets[r]).
+    sources = np.repeat(rows, deg)
+    slot = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], deg) + np.repeat(ptr[rows], deg)
+    return sources, adj[slot], offsets
+
+
+def topdown_level(
+    graph: BipartiteCSR, state: ForestState, matching: Matching, frontier: np.ndarray
+) -> LevelStats:
+    """Algorithm 4, one level, parallel semantics.
+
+    Every active-tree frontier vertex scans its full adjacency (as the
+    concurrent version does — no serial early-break); unvisited targets are
+    claimed first-writer-wins.
+    """
+    frontier = np.asarray(frontier, dtype=INDEX_DTYPE)
+    if frontier.size:
+        active = state.active_x_mask()[frontier]
+        frontier = frontier[active]
+    if frontier.size == 0:
+        return LevelStats(
+            next_frontier=np.empty(0, dtype=INDEX_DTYPE),
+            item_costs=np.empty(0),
+            edges=0,
+            claims=0,
+            attempts=0,
+            endpoints=0,
+        )
+    src, dst, offsets = _gather_segments(graph.x_ptr, graph.x_adj, frontier)
+    edges = int(dst.shape[0])
+    item_costs = np.diff(offsets).astype(np.float64) + 1.0
+    unvis = state.visited[dst] == 0
+    src_u = src[unvis]
+    dst_u = dst[unvis]
+    attempts = int(dst_u.shape[0])
+    # First occurrence per target = the winning atomic claim.
+    winners, first_idx = np.unique(dst_u, return_index=True)
+    claim_src = src_u[first_idx]
+    return _apply_claims(state, matching, winners, claim_src, item_costs, edges, attempts)
+
+
+def bottomup_level(
+    graph: BipartiteCSR, state: ForestState, matching: Matching, rows: np.ndarray
+) -> LevelStats:
+    """Algorithm 6 over row set ``rows`` (regular bottom-up or grafting).
+
+    Each row scans its neighbours up to (and including) its first
+    active-tree neighbour, based on the level-start active state. No atomics
+    are needed: each row is owned by a single thread (Section III-B).
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    if rows.size == 0:
+        return LevelStats(
+            next_frontier=np.empty(0, dtype=INDEX_DTYPE),
+            item_costs=np.empty(0),
+            edges=0,
+            claims=0,
+            attempts=0,
+            endpoints=0,
+        )
+    src, dst, offsets = _gather_segments(graph.y_ptr, graph.y_adj, rows)
+    active_edge = state.active_x_mask()[dst] if dst.size else np.empty(0, dtype=bool)
+    # First active neighbour per row, via the sorted indices of active edges.
+    hit_positions = np.flatnonzero(active_edge)
+    starts = offsets[:-1]
+    ends = offsets[1:]
+    pos = np.searchsorted(hit_positions, starts)
+    safe_pos = np.minimum(pos, max(hit_positions.shape[0] - 1, 0))
+    has_hit = (pos < hit_positions.shape[0]) & (
+        hit_positions[safe_pos] < ends if hit_positions.size else np.zeros(rows.shape, dtype=bool)
+    )
+    first_edge = hit_positions[safe_pos] if hit_positions.size else np.zeros(rows.shape, dtype=np.int64)
+    deg = (ends - starts).astype(np.float64)
+    scanned = np.where(has_hit, (first_edge - starts + 1).astype(np.float64), deg)
+    edges = int(scanned.sum())
+    item_costs = scanned + 1.0
+    winners = rows[has_hit]
+    claim_src = dst[first_edge[has_hit]] if winners.size else np.empty(0, dtype=INDEX_DTYPE)
+    return _apply_claims(state, matching, winners, claim_src, item_costs, edges, attempts=0)
+
+
+def _apply_claims(
+    state: ForestState,
+    matching: Matching,
+    winners: np.ndarray,
+    claim_src: np.ndarray,
+    item_costs: np.ndarray,
+    edges: int,
+    attempts: int,
+) -> LevelStats:
+    """Algorithm 5 for a batch of claimed (y := winners, x := claim_src)."""
+    claims = int(winners.shape[0])
+    if claims:
+        roots = state.root_x[claim_src]
+        state.visited[winners] = 1
+        state.parent[winners] = claim_src
+        state.root_y[winners] = roots
+        state.num_unvisited_y -= claims
+        mates = matching.mate_y[winners]
+        matched = mates != UNMATCHED
+        next_frontier = mates[matched].astype(INDEX_DTYPE)
+        state.root_x[next_frontier] = roots[matched]
+        # Unmatched winners end augmenting paths; one leaf survives per tree
+        # (the paper's benign race — we keep the first, deterministically).
+        endpoint_y = winners[~matched]
+        endpoint_roots = roots[~matched]
+        uniq_roots, first = np.unique(endpoint_roots, return_index=True)
+        state.leaf[uniq_roots] = endpoint_y[first]
+        endpoints = int(uniq_roots.shape[0])
+    else:
+        next_frontier = np.empty(0, dtype=INDEX_DTYPE)
+        endpoints = 0
+    return LevelStats(
+        next_frontier=next_frontier,
+        item_costs=item_costs,
+        edges=edges,
+        claims=claims,
+        attempts=max(attempts, claims),
+        endpoints=endpoints,
+    )
+
+
+def augment_all(
+    state: ForestState, matching: Matching
+) -> tuple[np.ndarray, list[int]]:
+    """Step 2 of Algorithm 3: flip every discovered augmenting path.
+
+    Returns ``(renewable_roots, path_lengths)``. Paths are vertex-disjoint
+    (one per tree, trees vertex-disjoint) so the real implementation flips
+    them in parallel; the pointer chasing itself is inherently sequential
+    per path, which is why path length drives the parallel augment cost.
+    """
+    mate_x = matching.mate_x
+    mate_y = matching.mate_y
+    roots = np.flatnonzero((mate_x == UNMATCHED) & (state.leaf != UNMATCHED)).astype(INDEX_DTYPE)
+    parent = state.parent
+    lengths: list[int] = []
+    for x0 in roots:
+        y = int(state.leaf[x0])
+        length = 0
+        while True:
+            x = int(parent[y])
+            prev_mate = int(mate_x[x])
+            mate_x[x] = y
+            mate_y[y] = x
+            length += 1
+            if prev_mate == UNMATCHED:
+                break
+            y = prev_mate
+            length += 1
+        lengths.append(length)
+    return roots, lengths
+
+
+@dataclass
+class GraftStats:
+    """Result of the GRAFT statistics pass (Alg. 7 lines 2-4)."""
+
+    active_x_count: int
+    active_y: np.ndarray
+    renewable_y: np.ndarray
+
+
+def graft_statistics(state: ForestState) -> GraftStats:
+    """Classify vertices into active / renewable sets and clear the stale
+    root pointers of renewable X vertices."""
+    renewable_x = np.flatnonzero(state.renewable_x_mask())
+    state.root_x[renewable_x] = UNMATCHED
+    active_x_count = int(np.count_nonzero(state.root_x != UNMATCHED))
+    active_y = np.flatnonzero(state.active_y_mask()).astype(INDEX_DTYPE)
+    renewable_y = np.flatnonzero(state.renewable_y_mask()).astype(INDEX_DTYPE)
+    return GraftStats(active_x_count=active_x_count, active_y=active_y, renewable_y=renewable_y)
+
+
+def reset_rows(state: ForestState, rows: np.ndarray) -> None:
+    """Clear visited flags and roots of ``rows`` (renewable-Y recycling)."""
+    if rows.size:
+        state.visited[rows] = 0
+        state.root_y[rows] = UNMATCHED
+        state.num_unvisited_y += int(rows.shape[0])
+
+
+def rebuild_from_unmatched(state: ForestState, matching: Matching) -> np.ndarray:
+    """The destroy-and-rebuild branch of Algorithm 7 (lines 10-15)."""
+    state.root_x[:] = UNMATCHED
+    frontier = matching.unmatched_x()
+    state.root_x[frontier] = frontier
+    state.leaf[frontier] = UNMATCHED
+    return frontier

@@ -1,0 +1,59 @@
+"""Configuration for the MS-BFS-Graft driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GraftOptions:
+    """Feature flags and tuning knobs of Algorithm 3.
+
+    ``alpha`` is the single threshold of the paper (Section III-B): top-down
+    is chosen while ``|F| < numUnvisitedY / alpha``, and grafting is chosen
+    while ``|activeX| > |renewableY| / alpha``. The paper found alpha ≈ 5
+    best; the ablation bench sweeps it.
+
+    ``direction_optimizing=False`` forces top-down BFS; ``grafting=False``
+    forces the destroy-and-rebuild branch — together they turn the algorithm
+    into plain MS-BFS (Algorithm 2), which is how the Fig. 7 contribution
+    breakdown is measured.
+    """
+
+    alpha: float = 5.0
+    direction_optimizing: bool = True
+    grafting: bool = True
+    direction_strategy: str = "vertex"
+    """How the top-down/bottom-up switch counts the frontier:
+
+    * ``"vertex"`` — the paper's Algorithm 3 line 9: top-down while
+      ``|F| < numUnvisitedY / alpha`` (vertex counts);
+    * ``"edge"`` — Beamer's original heuristic: top-down while the
+      frontier's out-edge count is below the unvisited side's edge count
+      divided by alpha. Degree-weighted, so hub-heavy frontiers switch
+      earlier; exposed for the ablation bench.
+    """
+    record_frontiers: bool = False
+    emit_trace: bool = True
+    check_invariants: bool = False
+    """Run forest invariant assertions every phase (slow; tests only)."""
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ReproError(f"alpha must be positive, got {self.alpha}")
+        if self.direction_strategy not in ("vertex", "edge"):
+            raise ReproError(
+                f"direction_strategy must be 'vertex' or 'edge', got {self.direction_strategy!r}"
+            )
+
+    @property
+    def algorithm_name(self) -> str:
+        if self.grafting and self.direction_optimizing:
+            return "ms-bfs-graft"
+        if self.grafting:
+            return "ms-bfs-graft-td"
+        if self.direction_optimizing:
+            return "ms-bfs-do"
+        return "ms-bfs"

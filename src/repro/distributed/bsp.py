@@ -1,0 +1,120 @@
+"""Bulk-synchronous-parallel accounting and the alpha-beta cluster model.
+
+The distributed engine records one :class:`Superstep` per global
+communication round: how much compute each rank did (work units, same
+currency as the shared-memory traces) and how many bytes each rank sent.
+:class:`BSPCostModel` prices a log on a :class:`ClusterSpec` with the
+classic alpha-beta model::
+
+    T = sum over supersteps of [ max_r compute_r * unit
+                                 + alpha            (latency / barrier)
+                                 + max_r bytes_r * beta ]
+
+which is the standard model for level-synchronous distributed BFS — the
+setting the paper's conclusion points to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import MachineConfigError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster for the alpha-beta cost model."""
+
+    name: str
+    ranks: int
+    unit_cost_ns: float = 6.0
+    """Cost of one local work unit (edge traversal), as on the SMP model."""
+    alpha_us: float = 5.0
+    """Per-superstep latency: network round + barrier (microseconds)."""
+    beta_ns_per_byte: float = 0.1
+    """Inverse bandwidth: ~10 GB/s links -> 0.1 ns per byte."""
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise MachineConfigError(f"cluster needs >= 1 rank, got {self.ranks}")
+        if min(self.unit_cost_ns, self.alpha_us, self.beta_ns_per_byte) < 0:
+            raise MachineConfigError("cluster cost coefficients must be non-negative")
+
+
+@dataclass
+class Superstep:
+    """One communication round: per-rank compute units and bytes sent."""
+
+    label: str
+    compute: np.ndarray
+    bytes_out: np.ndarray
+
+    @property
+    def max_compute(self) -> float:
+        return float(self.compute.max()) if self.compute.size else 0.0
+
+    @property
+    def max_bytes(self) -> float:
+        return float(self.bytes_out.max()) if self.bytes_out.size else 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_out.sum())
+
+
+@dataclass
+class SuperstepLog:
+    """Ordered superstep records for one distributed run."""
+
+    ranks: int
+    steps: List[Superstep] = field(default_factory=list)
+
+    def record(self, label: str, compute: np.ndarray, bytes_out: np.ndarray) -> None:
+        self.steps.append(
+            Superstep(
+                label=label,
+                compute=np.asarray(compute, dtype=np.float64),
+                bytes_out=np.asarray(bytes_out, dtype=np.float64),
+            )
+        )
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_compute(self) -> float:
+        return float(sum(s.compute.sum() for s in self.steps))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(s.total_bytes for s in self.steps))
+
+    def by_label(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.steps:
+            out[s.label] = out.get(s.label, 0) + 1
+        return out
+
+
+class BSPCostModel:
+    """Prices a :class:`SuperstepLog` on a :class:`ClusterSpec`."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+
+    def seconds(self, log: SuperstepLog) -> float:
+        total, _, _ = self.decompose(log)
+        return total
+
+    def decompose(self, log: SuperstepLog) -> tuple[float, float, float]:
+        """``(total, compute, communication)`` seconds."""
+        c = self.cluster
+        compute_ns = sum(s.max_compute for s in log.steps) * c.unit_cost_ns
+        comm_ns = sum(
+            c.alpha_us * 1e3 + s.max_bytes * c.beta_ns_per_byte for s in log.steps
+        )
+        return (compute_ns + comm_ns) * 1e-9, compute_ns * 1e-9, comm_ns * 1e-9

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by library code derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or malformed graph inputs."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an external graph format (e.g. Matrix Market) fails."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid matchings or misuse of matching routines."""
+
+
+class VerificationError(MatchingError):
+    """Raised when a matching fails a validity or optimality check."""
+
+
+class MachineConfigError(ReproError):
+    """Raised for inconsistent simulated-machine specifications."""
+
+
+class SchedulerError(ReproError):
+    """Raised when work cannot be partitioned as requested."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for misconfigured experiments."""

@@ -1,0 +1,81 @@
+"""Bipartite graph substrate: CSR storage, builders, generators, and I/O.
+
+The whole package works on :class:`BipartiteCSR`, a compressed-sparse-row
+representation of an undirected bipartite graph that stores *both* adjacency
+directions (X->Y and Y->X), mirroring the paper's Section IV-B convention of
+keeping each nonzero as two directed edges so that top-down and bottom-up
+searches are both cheap.
+"""
+
+from repro.graph.csr import BipartiteCSR
+from repro.graph.builder import (
+    from_edges,
+    from_biadjacency_lists,
+    from_scipy_sparse,
+    from_dense,
+    from_networkx,
+    to_scipy_sparse,
+    to_networkx,
+)
+from repro.graph.generators import (
+    random_bipartite,
+    random_bipartite_gnp,
+    rmat_bipartite,
+    grid_bipartite,
+    road_like,
+    power_law_bipartite,
+    community_bipartite,
+    planted_matching,
+    surplus_core_bipartite,
+    chain_graph,
+    complete_bipartite,
+    crown_graph,
+)
+from repro.graph.io import read_matrix_market, write_matrix_market
+from repro.graph.readers import read_snap_edgelist, read_dimacs
+from repro.graph.serialize import load_graph, save_graph
+from repro.graph.components import (
+    ComponentLabels,
+    connected_components,
+    extract_component,
+    match_by_components,
+)
+from repro.graph.permute import permute, random_permutation
+from repro.graph.properties import GraphProperties, analyze
+
+__all__ = [
+    "BipartiteCSR",
+    "from_edges",
+    "from_biadjacency_lists",
+    "from_scipy_sparse",
+    "from_dense",
+    "from_networkx",
+    "to_scipy_sparse",
+    "to_networkx",
+    "random_bipartite",
+    "random_bipartite_gnp",
+    "rmat_bipartite",
+    "grid_bipartite",
+    "road_like",
+    "power_law_bipartite",
+    "community_bipartite",
+    "planted_matching",
+    "surplus_core_bipartite",
+    "chain_graph",
+    "complete_bipartite",
+    "crown_graph",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_snap_edgelist",
+    "read_dimacs",
+    "load_graph",
+    "save_graph",
+    "ComponentLabels",
+    "connected_components",
+    "extract_component",
+    "match_by_components",
+    "permute",
+    "random_permutation",
+    "GraphProperties",
+    "analyze",
+]

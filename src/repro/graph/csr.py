@@ -1,0 +1,193 @@
+"""Compressed-sparse-row bipartite graph.
+
+A :class:`BipartiteCSR` stores an undirected bipartite graph
+``G = (X ∪ Y, E)`` with ``|X| = n_x`` and ``|Y| = n_y``. X vertices are
+numbered ``0 .. n_x-1`` and Y vertices ``0 .. n_y-1`` in their own index
+spaces (algorithms never mix the two spaces, which keeps every hot array a
+flat numpy vector).
+
+Both adjacency directions are stored:
+
+* ``x_ptr`` / ``x_adj`` — for each x, the sorted Y neighbours (top-down BFS),
+* ``y_ptr`` / ``y_adj`` — for each y, the sorted X neighbours (bottom-up BFS
+  and tree grafting).
+
+Following the paper (Section IV-B) the edge count ``m`` reported in
+experiment tables is the number of *directed* edges, ``2 * nnz``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+INDEX_DTYPE = np.int64
+"""Dtype used for all adjacency and pointer arrays."""
+
+
+class BipartiteCSR:
+    """Immutable CSR bipartite graph.
+
+    Instances are normally built with :mod:`repro.graph.builder` or a
+    generator from :mod:`repro.graph.generators`; the constructor takes
+    ready-made CSR arrays and (by default) validates their consistency.
+    """
+
+    __slots__ = ("n_x", "n_y", "x_ptr", "x_adj", "y_ptr", "y_adj", "_adj_lists")
+
+    def __init__(
+        self,
+        n_x: int,
+        n_y: int,
+        x_ptr: np.ndarray,
+        x_adj: np.ndarray,
+        y_ptr: np.ndarray,
+        y_adj: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.n_x = int(n_x)
+        self.n_y = int(n_y)
+        self.x_ptr = np.ascontiguousarray(x_ptr, dtype=INDEX_DTYPE)
+        self.x_adj = np.ascontiguousarray(x_adj, dtype=INDEX_DTYPE)
+        self.y_ptr = np.ascontiguousarray(y_ptr, dtype=INDEX_DTYPE)
+        self.y_adj = np.ascontiguousarray(y_adj, dtype=INDEX_DTYPE)
+        self._adj_lists = None  # lazy cache used by repro.matching._common
+        # Freeze the arrays: algorithms share graphs across runs and threads,
+        # so accidental mutation would be a hard-to-find bug.
+        for arr in (self.x_ptr, self.x_adj, self.y_ptr, self.y_adj):
+            arr.setflags(write=False)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        """Number of undirected edges (nonzeros of the biadjacency matrix)."""
+        return int(self.x_adj.shape[0])
+
+    @property
+    def num_vertices(self) -> int:
+        """``n = n_x + n_y``."""
+        return self.n_x + self.n_y
+
+    @property
+    def num_directed_edges(self) -> int:
+        """``m = 2 * nnz`` — the paper's edge count convention."""
+        return 2 * self.nnz
+
+    def degree_x(self, x: int | None = None) -> np.ndarray | int:
+        """Degree of X vertex ``x``, or the full degree vector if ``None``."""
+        if x is None:
+            return np.diff(self.x_ptr)
+        return int(self.x_ptr[x + 1] - self.x_ptr[x])
+
+    def degree_y(self, y: int | None = None) -> np.ndarray | int:
+        """Degree of Y vertex ``y``, or the full degree vector if ``None``."""
+        if y is None:
+            return np.diff(self.y_ptr)
+        return int(self.y_ptr[y + 1] - self.y_ptr[y])
+
+    def neighbors_x(self, x: int) -> np.ndarray:
+        """Read-only view of the Y neighbours of X vertex ``x``."""
+        return self.x_adj[self.x_ptr[x] : self.x_ptr[x + 1]]
+
+    def neighbors_y(self, y: int) -> np.ndarray:
+        """Read-only view of the X neighbours of Y vertex ``y``."""
+        return self.y_adj[self.y_ptr[y] : self.y_ptr[y + 1]]
+
+    def has_edge(self, x: int, y: int) -> bool:
+        """Membership test via binary search on the sorted adjacency row."""
+        row = self.neighbors_x(x)
+        pos = int(np.searchsorted(row, y))
+        return pos < row.shape[0] and int(row[pos]) == y
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges as ``(x, y)`` pairs in CSR order."""
+        for x in range(self.n_x):
+            for y in self.neighbors_x(x):
+                yield x, int(y)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the edge list as parallel ``(xs, ys)`` arrays (copies)."""
+        xs = np.repeat(np.arange(self.n_x, dtype=INDEX_DTYPE), np.diff(self.x_ptr))
+        return xs, self.x_adj.copy()
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> None:
+        if self.n_x < 0 or self.n_y < 0:
+            raise GraphError(f"negative vertex counts: n_x={self.n_x}, n_y={self.n_y}")
+        if self.x_ptr.shape != (self.n_x + 1,):
+            raise GraphError(f"x_ptr has shape {self.x_ptr.shape}, expected ({self.n_x + 1},)")
+        if self.y_ptr.shape != (self.n_y + 1,):
+            raise GraphError(f"y_ptr has shape {self.y_ptr.shape}, expected ({self.n_y + 1},)")
+        for name, ptr, adj in (("x", self.x_ptr, self.x_adj), ("y", self.y_ptr, self.y_adj)):
+            if ptr[0] != 0 or ptr[-1] != adj.shape[0]:
+                raise GraphError(f"{name}_ptr endpoints inconsistent with {name}_adj length")
+            if np.any(np.diff(ptr) < 0):
+                raise GraphError(f"{name}_ptr is not non-decreasing")
+        if self.x_adj.shape[0] != self.y_adj.shape[0]:
+            raise GraphError(
+                "x_adj and y_adj disagree on edge count: "
+                f"{self.x_adj.shape[0]} != {self.y_adj.shape[0]}"
+            )
+        if self.x_adj.size and (self.x_adj.min() < 0 or self.x_adj.max() >= self.n_y):
+            raise GraphError("x_adj contains out-of-range Y indices")
+        if self.y_adj.size and (self.y_adj.min() < 0 or self.y_adj.max() >= self.n_x):
+            raise GraphError("y_adj contains out-of-range X indices")
+        for x in range(self.n_x):
+            row = self.neighbors_x(x)
+            if row.shape[0] > 1 and np.any(np.diff(row) <= 0):
+                raise GraphError(f"adjacency row of x={x} is not strictly increasing")
+        for y in range(self.n_y):
+            row = self.neighbors_y(y)
+            if row.shape[0] > 1 and np.any(np.diff(row) <= 0):
+                raise GraphError(f"adjacency row of y={y} is not strictly increasing")
+        # The two directions must describe the same edge set.
+        xs, ys = self.edge_arrays()
+        ys2 = np.repeat(np.arange(self.n_y, dtype=INDEX_DTYPE), np.diff(self.y_ptr))
+        xs2 = self.y_adj
+        order1 = np.lexsort((ys, xs))
+        order2 = np.lexsort((ys2, xs2))
+        if not (
+            np.array_equal(xs[order1], xs2[order2]) and np.array_equal(ys[order1], ys2[order2])
+        ):
+            raise GraphError("x-side and y-side adjacency describe different edge sets")
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def transpose(self) -> "BipartiteCSR":
+        """Swap the roles of X and Y (rows and columns)."""
+        return BipartiteCSR(
+            self.n_y, self.n_x, self.y_ptr, self.y_adj, self.x_ptr, self.x_adj, validate=False
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteCSR):
+            return NotImplemented
+        return (
+            self.n_x == other.n_x
+            and self.n_y == other.n_y
+            and np.array_equal(self.x_ptr, other.x_ptr)
+            and np.array_equal(self.x_adj, other.x_adj)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteCSR(n_x={self.n_x}, n_y={self.n_y}, nnz={self.nnz}, "
+            f"m={self.num_directed_edges})"
+        )

@@ -1,0 +1,60 @@
+"""Vertex relabelling.
+
+Parallel matching runtimes depend on vertex processing order; the paper's
+Section V-B measures run-to-run variability (psi). Our simulated machine is
+deterministic for a fixed graph, so the sensitivity experiment perturbs the
+vertex numbering between runs with :func:`permute` — the same effect thread
+scheduling has on real hardware (different discovery orders), without
+changing the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import _from_edge_arrays
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.util.rng import SeedLike, as_rng
+
+
+def random_permutation(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A random permutation of ``0..n-1`` as an INDEX_DTYPE array."""
+    return as_rng(seed).permutation(n).astype(INDEX_DTYPE)
+
+
+def permute(
+    graph: BipartiteCSR,
+    x_perm: np.ndarray | None = None,
+    y_perm: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> Tuple[BipartiteCSR, np.ndarray, np.ndarray]:
+    """Relabel vertices: new id of old x is ``x_perm[x]`` (same for y).
+
+    Missing permutations are drawn at random from ``seed``. Returns
+    ``(new_graph, x_perm, y_perm)`` so matchings can be mapped back via
+    ``mate_new[x_perm[x]] == y_perm[mate_old[x]]``.
+    """
+    rng = as_rng(seed)
+    if x_perm is None:
+        x_perm = rng.permutation(graph.n_x).astype(INDEX_DTYPE)
+    else:
+        x_perm = np.asarray(x_perm, dtype=INDEX_DTYPE)
+        _check_perm(x_perm, graph.n_x, "x_perm")
+    if y_perm is None:
+        y_perm = rng.permutation(graph.n_y).astype(INDEX_DTYPE)
+    else:
+        y_perm = np.asarray(y_perm, dtype=INDEX_DTYPE)
+        _check_perm(y_perm, graph.n_y, "y_perm")
+    xs, ys = graph.edge_arrays()
+    new = _from_edge_arrays(graph.n_x, graph.n_y, x_perm[xs], y_perm[ys], validate=False)
+    return new, x_perm, y_perm
+
+
+def _check_perm(perm: np.ndarray, n: int, name: str) -> None:
+    if perm.shape != (n,):
+        raise GraphError(f"{name} has shape {perm.shape}, expected ({n},)")
+    if not np.array_equal(np.sort(perm), np.arange(n)):
+        raise GraphError(f"{name} is not a permutation of 0..{n - 1}")

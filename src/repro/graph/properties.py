@@ -1,0 +1,52 @@
+"""Structural graph reports used by Table II and the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import BipartiteCSR
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """Summary statistics for one bipartite graph (Table II columns)."""
+
+    n_x: int
+    n_y: int
+    nnz: int
+    num_directed_edges: int
+    avg_degree_x: float
+    avg_degree_y: float
+    max_degree_x: int
+    max_degree_y: int
+    isolated_x: int
+    isolated_y: int
+    degree_skew_x: float = field(default=0.0)
+    """max degree / mean degree on the X side — a cheap scale-free indicator."""
+
+    @property
+    def num_vertices(self) -> int:
+        return self.n_x + self.n_y
+
+
+def analyze(graph: BipartiteCSR) -> GraphProperties:
+    """Compute :class:`GraphProperties` for ``graph``."""
+    deg_x = graph.degree_x()
+    deg_y = graph.degree_y()
+    avg_x = float(deg_x.mean()) if graph.n_x else 0.0
+    avg_y = float(deg_y.mean()) if graph.n_y else 0.0
+    return GraphProperties(
+        n_x=graph.n_x,
+        n_y=graph.n_y,
+        nnz=graph.nnz,
+        num_directed_edges=graph.num_directed_edges,
+        avg_degree_x=avg_x,
+        avg_degree_y=avg_y,
+        max_degree_x=int(deg_x.max()) if graph.n_x else 0,
+        max_degree_y=int(deg_y.max()) if graph.n_y else 0,
+        isolated_x=int(np.count_nonzero(deg_x == 0)),
+        isolated_y=int(np.count_nonzero(deg_y == 0)),
+        degree_skew_x=(float(deg_x.max()) / avg_x) if avg_x > 0 else 0.0,
+    )

@@ -1,0 +1,122 @@
+"""Readers for common public graph-exchange formats.
+
+The paper's instances come from the UF sparse matrix collection
+(MatrixMarket, see :mod:`repro.graph.io`); the same *kinds* of graphs are
+also distributed as SNAP edge lists (wikipedia, web-Google, cit-Patents,
+amazon0312 are all SNAP datasets) and DIMACS files (road networks). These
+readers let users point the library at those files directly:
+
+* :func:`read_snap_edgelist` — whitespace-separated ``u v`` pairs, ``#``
+  comments, arbitrary (sparse) vertex ids; directed edges are read as
+  row->column entries of the biadjacency matrix;
+* :func:`read_dimacs` — the DIMACS ``p``/``a``/``e`` format used by the
+  road-network challenge files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import _from_edge_arrays
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+
+
+def read_snap_edgelist(
+    source: Union[str, Path, TextIO], *, comment: str = "#"
+) -> BipartiteCSR:
+    """Read a SNAP-style edge list as a bipartite graph.
+
+    Each non-comment line holds a source and a target id (any further
+    columns are ignored). Ids may be sparse and unordered; both sides are
+    compacted independently, so a directed graph's rows become X and its
+    targets Y — the standard bipartite view of a nonsymmetric matrix.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_snap_edgelist(fh, comment=comment)
+    src_ids: list[int] = []
+    dst_ids: list[int] = []
+    for lineno, line in enumerate(source, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comment):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {lineno}: expected 'u v', got {stripped!r}")
+        try:
+            src_ids.append(int(parts[0]))
+            dst_ids.append(int(parts[1]))
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: non-integer vertex id") from exc
+    if not src_ids:
+        return _from_edge_arrays(
+            0, 0, np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=INDEX_DTYPE),
+            validate=False,
+        )
+    src = np.asarray(src_ids, dtype=np.int64)
+    dst = np.asarray(dst_ids, dtype=np.int64)
+    if src.min() < 0 or dst.min() < 0:
+        raise GraphFormatError("negative vertex ids are not supported")
+    x_vals, xs = np.unique(src, return_inverse=True)
+    y_vals, ys = np.unique(dst, return_inverse=True)
+    return _from_edge_arrays(
+        int(x_vals.size), int(y_vals.size),
+        xs.astype(INDEX_DTYPE), ys.astype(INDEX_DTYPE), validate=False,
+    )
+
+
+def read_dimacs(source: Union[str, Path, TextIO]) -> BipartiteCSR:
+    """Read a DIMACS graph (``p sp|edge n m`` header, ``a``/``e`` edges).
+
+    Vertices are 1-based in the file. The (possibly directed) graph is
+    returned as its bipartite adjacency view: X = sources, Y = targets,
+    both sized ``n``.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_dimacs(fh)
+    n = None
+    declared_m = None
+    xs: list[int] = []
+    ys: list[int] = []
+    for lineno, line in enumerate(source, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("c"):
+            continue
+        parts = stripped.split()
+        if parts[0] == "p":
+            if len(parts) < 4:
+                raise GraphFormatError(f"line {lineno}: malformed problem line")
+            try:
+                n = int(parts[-2])
+                declared_m = int(parts[-1])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: malformed problem line") from exc
+        elif parts[0] in ("a", "e"):
+            if n is None:
+                raise GraphFormatError(f"line {lineno}: edge before problem line")
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: malformed edge line")
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: non-integer endpoint") from exc
+            if not (1 <= u <= n and 1 <= v <= n):
+                raise GraphFormatError(f"line {lineno}: endpoint out of range 1..{n}")
+            xs.append(u - 1)
+            ys.append(v - 1)
+        else:
+            raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")
+    if n is None:
+        raise GraphFormatError("missing problem ('p') line")
+    if declared_m is not None and len(xs) != declared_m:
+        raise GraphFormatError(f"declared {declared_m} edges, found {len(xs)}")
+    return _from_edge_arrays(
+        n, n,
+        np.asarray(xs, dtype=INDEX_DTYPE), np.asarray(ys, dtype=INDEX_DTYPE),
+        validate=False,
+    )

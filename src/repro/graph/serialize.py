@@ -1,0 +1,81 @@
+"""Fast binary (de)serialization of graphs and matchings via ``.npz``.
+
+MatrixMarket (``repro.graph.io``) is the interchange format; this module is
+the fast path for caching suite graphs and checkpointing matchings between
+experiment runs. The file carries a format tag and version so stale caches
+fail loudly instead of mis-deserialising.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import BipartiteCSR
+from repro.matching.base import Matching
+
+_FORMAT = "repro-bipartite-csr"
+_MATCHING_FORMAT = "repro-matching"
+_VERSION = 1
+
+
+def save_graph(graph: BipartiteCSR, path: Union[str, Path]) -> None:
+    """Write a graph to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        format=np.array(_FORMAT),
+        version=np.array(_VERSION),
+        n_x=np.array(graph.n_x),
+        n_y=np.array(graph.n_y),
+        x_ptr=graph.x_ptr,
+        x_adj=graph.x_adj,
+        y_ptr=graph.y_ptr,
+        y_adj=graph.y_adj,
+    )
+
+
+def load_graph(path: Union[str, Path]) -> BipartiteCSR:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, _FORMAT, path)
+        return BipartiteCSR(
+            int(data["n_x"]),
+            int(data["n_y"]),
+            data["x_ptr"],
+            data["x_adj"],
+            data["y_ptr"],
+            data["y_adj"],
+            validate=False,
+        )
+
+
+def save_matching(matching: Matching, path: Union[str, Path]) -> None:
+    """Write a matching to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        format=np.array(_MATCHING_FORMAT),
+        version=np.array(_VERSION),
+        mate_x=matching.mate_x,
+        mate_y=matching.mate_y,
+    )
+
+
+def load_matching(path: Union[str, Path]) -> Matching:
+    """Read a matching written by :func:`save_matching`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, _MATCHING_FORMAT, path)
+        mate_x = data["mate_x"]
+        mate_y = data["mate_y"]
+        return Matching(mate_x.shape[0], mate_y.shape[0], mate_x, mate_y)
+
+
+def _check_header(data, expected_format: str, path) -> None:
+    if "format" not in data or str(data["format"]) != expected_format:
+        raise GraphFormatError(f"{path}: not a {expected_format} file")
+    if int(data["version"]) > _VERSION:
+        raise GraphFormatError(
+            f"{path}: written by a newer version ({int(data['version'])} > {_VERSION})"
+        )

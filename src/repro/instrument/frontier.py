@@ -1,0 +1,43 @@
+"""Frontier-size logging for the Fig. 8 experiment.
+
+Fig. 8 plots the BFS frontier size per level for two consecutive phases of
+MS-BFS and MS-BFS-Graft on copapersDBLP: grafting front-loads a *large*
+frontier that shrinks monotonically, whereas without grafting each phase
+starts from the small set of unmatched vertices, grows, and then shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class FrontierLog:
+    """Per-phase, per-level frontier sizes (measured in X vertices)."""
+
+    phases: List[List[int]] = field(default_factory=list)
+
+    def start_phase(self) -> None:
+        self.phases.append([])
+
+    def record(self, frontier_size: int) -> None:
+        if not self.phases:
+            self.start_phase()
+        self.phases[-1].append(int(frontier_size))
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    def levels(self, phase: int) -> List[int]:
+        """Frontier sizes for one phase, level by level."""
+        return list(self.phases[phase])
+
+    def total_vertices(self, phase: int) -> int:
+        """Area under the curve: total frontier vertices processed in a phase."""
+        return sum(self.phases[phase])
+
+    def height(self, phase: int) -> int:
+        """Number of BFS levels in a phase (forest height / sync points)."""
+        return len(self.phases[phase])

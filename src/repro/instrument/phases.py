@@ -1,0 +1,85 @@
+"""Per-phase dynamics extracted from work traces.
+
+The paper's narrative lives at phase granularity: how much traversal each
+phase costs, how many augmenting paths it finds, and how grafting changes
+that trajectory (most visible in its Figs. 1(b) and 8). A
+:class:`PhaseProfile` slices an MS-BFS-Graft work trace back into phases —
+the trace's ``augment`` regions are the phase boundaries — so experiments
+can plot per-phase quantities without re-instrumenting the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.parallel.trace import WorkTrace
+
+TRAVERSAL_KINDS = ("topdown", "bottomup")
+
+
+@dataclass
+class PhaseRecord:
+    """One phase of an MS-BFS(-Graft) run."""
+
+    index: int
+    traversal_work: float = 0.0
+    traversal_levels: int = 0
+    augmentations: int = 0
+    augment_work: float = 0.0
+    graft_work: float = 0.0
+    used_graft_branch: bool = False
+
+
+@dataclass
+class PhaseProfile:
+    """Phases reconstructed from a work trace."""
+
+    phases: List[PhaseRecord] = field(default_factory=list)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    def traversal_work_series(self) -> List[float]:
+        return [p.traversal_work for p in self.phases]
+
+    def augmentation_series(self) -> List[int]:
+        return [p.augmentations for p in self.phases]
+
+    def total_traversal_work(self) -> float:
+        return sum(p.traversal_work for p in self.phases)
+
+
+def phase_profile(trace: WorkTrace) -> PhaseProfile:
+    """Slice an MS-BFS-Graft trace into per-phase records.
+
+    Phases are delimited by the end of each phase's step-3 region
+    (``grafting``); the final phase (which finds nothing and only
+    traverses) closes at the trace end.
+    """
+    profile = PhaseProfile()
+    current = PhaseRecord(index=0)
+    for region in trace.regions:
+        if region.kind in TRAVERSAL_KINDS:
+            current.traversal_work += region.total_work
+            current.traversal_levels += 1
+        elif region.kind == "augment":
+            current.augmentations += region.num_items
+            current.augment_work += region.total_work
+        elif region.kind == "grafting":
+            current.graft_work += region.total_work
+            # An itemised grafting region is the bottom-up graft sweep; the
+            # destroy-and-rebuild branch emits a uniform region.
+            current.used_graft_branch = not region.is_uniform
+            profile.phases.append(current)
+            current = PhaseRecord(index=current.index + 1)
+        # 'statistics' and other kinds don't delimit phases.
+    if (
+        current.traversal_work
+        or current.augmentations
+        or current.graft_work
+        or not profile.phases
+    ):
+        profile.phases.append(current)
+    return profile

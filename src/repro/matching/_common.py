@@ -1,0 +1,30 @@
+"""Internal helpers shared by the pure-Python matching algorithm loops.
+
+CPython indexes plain lists several times faster than it indexes numpy
+arrays element-by-element, so the search-loop algorithms (Karp-Sipser, the
+SS searches, Pothen-Fan, push-relabel) convert the CSR arrays to lists once
+per graph. The vectorized kernels in :mod:`repro.core.kernels` keep using
+the numpy arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.csr import BipartiteCSR
+
+
+def adjacency_lists(graph: BipartiteCSR) -> Tuple[List[int], List[int], List[int], List[int]]:
+    """``(x_ptr, x_adj, y_ptr, y_adj)`` as plain Python lists.
+
+    Cached on the (immutable) graph instance — benchmark runs call several
+    algorithms on the same graph.
+    """
+    if graph._adj_lists is None:
+        graph._adj_lists = (
+            graph.x_ptr.tolist(),
+            graph.x_adj.tolist(),
+            graph.y_ptr.tolist(),
+            graph.y_adj.tolist(),
+        )
+    return graph._adj_lists

@@ -1,0 +1,68 @@
+"""First-fit greedy maximal matching.
+
+The simplest O(m) initialiser: scan X vertices in (optionally shuffled)
+order and match each to its first free neighbour. Guarantees cardinality at
+least half the maximum; used in tests and as an ablation alternative to
+Karp-Sipser (``bench_ablation_init``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.csr import BipartiteCSR
+from repro.instrument.counters import Counters
+from repro.matching._common import adjacency_lists
+from repro.matching.base import MatchResult, Matching, init_matching
+from repro.util.rng import SeedLike, as_rng
+
+
+def greedy_matching(
+    graph: BipartiteCSR,
+    initial: Matching | None = None,
+    *,
+    shuffle: bool = False,
+    order: str = "input",
+    seed: SeedLike = 0,
+) -> MatchResult:
+    """Greedy maximal matching.
+
+    ``order`` selects the X scan order: ``"input"`` (vertex id),
+    ``"random"`` (equivalent to ``shuffle=True``), or ``"mindegree"``
+    (ascending degree — the classic refinement that matches constrained
+    vertices first and typically leaves a smaller deficit).
+    """
+    start = time.perf_counter()
+    if order not in ("input", "random", "mindegree"):
+        raise ValueError(f"unknown greedy order {order!r}")
+    matching = init_matching(graph, initial)
+    counters = Counters()
+    x_ptr, x_adj, _, _ = adjacency_lists(graph)
+    mate_x = matching.mate_x
+    mate_y = matching.mate_y
+    edges = 0
+    scan = range(graph.n_x)
+    if shuffle or order == "random":
+        scan = as_rng(seed).permutation(graph.n_x).tolist()
+    elif order == "mindegree":
+        import numpy as np
+
+        scan = np.argsort(graph.degree_x(), kind="stable").tolist()
+    for x in scan:
+        if mate_x[x] != -1:
+            continue
+        for i in range(x_ptr[x], x_ptr[x + 1]):
+            edges += 1
+            y = x_adj[i]
+            if mate_y[y] == -1:
+                mate_x[x] = y
+                mate_y[y] = x
+                break
+    counters.edges_traversed = edges
+    counters.phases = 1
+    return MatchResult(
+        matching=matching,
+        algorithm="greedy",
+        counters=counters,
+        wall_seconds=time.perf_counter() - start,
+    )

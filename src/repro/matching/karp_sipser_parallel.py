@@ -1,0 +1,201 @@
+"""Round-based (parallel-semantics) Karp-Sipser initialiser.
+
+The paper initialises its experiments with the *multithreaded* Karp-Sipser
+of Azad et al. [4], which differs from the serial heuristic in an important
+way: degree-1 vertices are processed in concurrent *rounds* (all current
+degree-1 vertices claim their unique neighbour simultaneously; conflicting
+claims leave losers unmatched), and the random-edge fallback likewise runs
+as simultaneous proposals. The rounds lose some of the serial algorithm's
+cascading precision, so the produced matching is slightly smaller — which
+is precisely why the paper's maximum-matching phase still has work to do on
+every graph class.
+
+This module reproduces those round semantics deterministically (claims are
+resolved by a seeded priority), giving the benchmark suite an initial
+matching of realistic parallel-KS quality. The serial heuristic lives in
+:mod:`repro.matching.karp_sipser`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.instrument.counters import Counters
+from repro.matching.base import MatchResult, Matching, init_matching
+from repro.util.rng import SeedLike, as_rng
+
+
+def karp_sipser_parallel(
+    graph: BipartiteCSR,
+    initial: Matching | None = None,
+    *,
+    seed: SeedLike = 0,
+    max_degree_one_rounds: int | None = None,
+) -> MatchResult:
+    """Karp-Sipser with parallel round semantics (vectorized).
+
+    Each iteration:
+
+    1. *degree-1 rounds* — every current degree-1 vertex proposes to its
+       unique free neighbour; one proposer per target wins (seeded random
+       priority), all winners match simultaneously;
+    2. when no degree-1 vertex remains, one *random proposal round* — every
+       free X vertex proposes to a uniformly random free neighbour; winners
+       match simultaneously;
+
+    until no free vertex has a free neighbour. ``max_degree_one_rounds``
+    caps step 1 per iteration (the real implementation's threads interleave
+    rule-1 and random matches; a low cap emulates more interleaving and
+    yields slightly lower quality).
+    """
+    start = time.perf_counter()
+    rng = as_rng(seed)
+    matching = init_matching(graph, initial)
+    counters = Counters()
+    n_x, n_y = graph.n_x, graph.n_y
+    x_ptr, x_adj = graph.x_ptr, graph.x_adj
+    y_ptr, y_adj = graph.y_ptr, graph.y_adj
+    mate_x = matching.mate_x
+    mate_y = matching.mate_y
+    edges = 0
+
+    free_x = mate_x == -1
+    free_y = mate_y == -1
+
+    def residual_degrees() -> tuple[np.ndarray, np.ndarray]:
+        """Degrees counting only free opposite endpoints (full recount).
+
+        The parallel implementation keeps approximate counters; a recount
+        per round is equivalent and vectorizes cleanly.
+        """
+        nonlocal edges
+        deg_x = np.zeros(n_x, dtype=np.int64)
+        np.add.at(deg_x, _edge_sources_x(), free_y[x_adj].astype(np.int64))
+        deg_y = np.zeros(n_y, dtype=np.int64)
+        np.add.at(deg_y, _edge_sources_y(), free_x[y_adj].astype(np.int64))
+        deg_x[~free_x] = 0
+        deg_y[~free_y] = 0
+        edges += graph.num_directed_edges
+        return deg_x, deg_y
+
+    src_x_cache: list[np.ndarray] = []
+    src_y_cache: list[np.ndarray] = []
+
+    def _edge_sources_x() -> np.ndarray:
+        if not src_x_cache:
+            src_x_cache.append(
+                np.repeat(np.arange(n_x, dtype=INDEX_DTYPE), np.diff(x_ptr))
+            )
+        return src_x_cache[0]
+
+    def _edge_sources_y() -> np.ndarray:
+        if not src_y_cache:
+            src_y_cache.append(
+                np.repeat(np.arange(n_y, dtype=INDEX_DTYPE), np.diff(y_ptr))
+            )
+        return src_y_cache[0]
+
+    def first_free_neighbor_x(xs: np.ndarray) -> np.ndarray:
+        """For each x, a free neighbour (the first) or -1."""
+        out = np.full(xs.shape[0], -1, dtype=INDEX_DTYPE)
+        for i, x in enumerate(xs):  # rows are degree-1-ish: cheap scans
+            row = x_adj[x_ptr[x] : x_ptr[x + 1]]
+            hits = row[free_y[row]]
+            if hits.size:
+                out[i] = hits[0]
+        return out
+
+    def first_free_neighbor_y(ys: np.ndarray) -> np.ndarray:
+        out = np.full(ys.shape[0], -1, dtype=INDEX_DTYPE)
+        for i, y in enumerate(ys):
+            row = y_adj[y_ptr[y] : y_ptr[y + 1]]
+            hits = row[free_x[row]]
+            if hits.size:
+                out[i] = hits[0]
+        return out
+
+    def resolve(proposers: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """One winner per target, chosen by seeded random priority."""
+        if proposers.size == 0:
+            return np.empty(0, dtype=np.int64)
+        priority = rng.permutation(proposers.shape[0])
+        order = np.argsort(targets[priority], kind="stable")
+        t_sorted = targets[priority][order]
+        keep = np.ones(t_sorted.shape[0], dtype=bool)
+        keep[1:] = t_sorted[1:] != t_sorted[:-1]
+        return priority[order][keep]
+
+    while True:
+        deg_x, deg_y = residual_degrees()
+        progressed = False
+
+        # --- degree-1 rounds ------------------------------------------- #
+        rounds = 0
+        while True:
+            if max_degree_one_rounds is not None and rounds >= max_degree_one_rounds:
+                break
+            ones_x = np.flatnonzero(free_x & (deg_x == 1))
+            ones_y = np.flatnonzero(free_y & (deg_y == 1))
+            if ones_x.size == 0 and ones_y.size == 0:
+                break
+            rounds += 1
+            tx = first_free_neighbor_x(ones_x)
+            ty = first_free_neighbor_y(ones_y)
+            edges += int(ones_x.size + ones_y.size)
+            # Combine both sides' proposals into (x, y) pairs.
+            px = np.concatenate([ones_x[tx != -1], ty[ty != -1]])
+            py = np.concatenate([tx[tx != -1], ones_y[ty != -1]])
+            if px.size == 0:
+                break
+            # A vertex may appear as both proposer and target across sides;
+            # resolve per-y first, then drop duplicate x's.
+            win = resolve(px, py)
+            wx, wy = px[win], py[win]
+            _, first = np.unique(wx, return_index=True)
+            wx, wy = wx[first], wy[first]
+            still = free_x[wx] & free_y[wy]
+            wx, wy = wx[still], wy[still]
+            if wx.size == 0:
+                break
+            mate_x[wx] = wy
+            mate_y[wy] = wx
+            free_x[wx] = False
+            free_y[wy] = False
+            progressed = True
+            # Recount degrees after the simultaneous round.
+            deg_x, deg_y = residual_degrees()
+
+        # --- one random proposal round --------------------------------- #
+        candidates = np.flatnonzero(free_x & (deg_x > 0))
+        if candidates.size == 0:
+            if not progressed:
+                break
+            continue
+        # Every free x proposes a random free neighbour.
+        proposals = np.full(candidates.shape[0], -1, dtype=INDEX_DTYPE)
+        for i, x in enumerate(candidates):
+            row = x_adj[x_ptr[x] : x_ptr[x + 1]]
+            hits = row[free_y[row]]
+            edges += int(row.shape[0])
+            if hits.size:
+                proposals[i] = hits[rng.integers(0, hits.size)]
+        valid = proposals != -1
+        px, py = candidates[valid], proposals[valid]
+        win = resolve(px, py)
+        wx, wy = px[win], py[win]
+        mate_x[wx] = wy
+        mate_y[wy] = wx
+        free_x[wx] = False
+        free_y[wy] = False
+        counters.phases += 1
+
+    counters.edges_traversed = edges
+    return MatchResult(
+        matching=matching,
+        algorithm="karp-sipser-parallel",
+        counters=counters,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,88 @@
+"""Single-source BFS maximum matching (Algorithm 1 with BFS searches).
+
+Follows the paper's SS-MATCH structure exactly: search for an augmenting
+path from one unmatched X vertex at a time; on success, augment and clear
+all visited flags; on failure, *keep* the visited flags set, hiding the
+failed tree from subsequent searches (safe, because a vertex unmatched after
+a failed search can never be matched later — Section II-C). The flag
+clearing is O(1) via an epoch counter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.csr import BipartiteCSR
+from repro.instrument.counters import Counters
+from repro.matching._common import adjacency_lists
+from repro.matching.base import MatchResult, Matching, init_matching
+
+
+def ss_bfs(graph: BipartiteCSR, initial: Matching | None = None) -> MatchResult:
+    """Maximum matching by single-source BFS augmenting-path searches."""
+    start = time.perf_counter()
+    matching = init_matching(graph, initial)
+    counters = Counters()
+    x_ptr, x_adj, _, _ = adjacency_lists(graph)
+    mate_x = matching.mate_x.tolist()
+    mate_y = matching.mate_y.tolist()
+    n_y = graph.n_y
+    # visited[y] == epoch means "visited since the last augmentation".
+    visited = [0] * n_y
+    parent = [0] * n_y  # parent[y]: X vertex that discovered y
+    epoch = 1
+    edges = 0
+
+    roots = [x for x in range(graph.n_x) if mate_x[x] == -1]
+    for x0 in roots:
+        # One phase per search, as in SS-MATCH.
+        counters.phases += 1
+        frontier = [x0]
+        end_y = -1
+        while frontier and end_y == -1:
+            next_frontier = []
+            for x in frontier:
+                for i in range(x_ptr[x], x_ptr[x + 1]):
+                    edges += 1
+                    y = x_adj[i]
+                    if visited[y] == epoch:
+                        continue
+                    visited[y] = epoch
+                    parent[y] = x
+                    mate = mate_y[y]
+                    if mate == -1:
+                        end_y = y
+                        break
+                    next_frontier.append(mate)
+                if end_y != -1:
+                    break
+            frontier = next_frontier
+        if end_y == -1:
+            # Failed search: keep the epoch's visited flags so this dead
+            # tree is skipped by future searches.
+            continue
+        # Augment along parent/mate pointers and reset all visited flags.
+        length = 0
+        y = end_y
+        while True:
+            x = parent[y]
+            prev_mate = mate_x[x]
+            mate_x[x] = y
+            mate_y[y] = x
+            length += 1
+            if prev_mate == -1:
+                break
+            y = prev_mate
+            length += 1
+        counters.record_path(length)
+        epoch += 1
+
+    matching.mate_x[:] = mate_x
+    matching.mate_y[:] = mate_y
+    counters.edges_traversed = edges
+    return MatchResult(
+        matching=matching,
+        algorithm="ss-bfs",
+        counters=counters,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,163 @@
+"""Matching verification: validity, maximality, and maximum certificates.
+
+``is_maximum_matching`` certifies optimality without trusting any matching
+algorithm: by Berge's theorem a matching is maximum iff no augmenting path
+exists, which one multi-source BFS over the final matching decides. From the
+same search we extract a König vertex cover whose size equals the matching
+cardinality — an independent, self-checking certificate
+(:func:`koenig_vertex_cover`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.graph.csr import BipartiteCSR
+from repro.matching.base import UNMATCHED, Matching
+
+
+def is_valid_matching(graph: BipartiteCSR, matching: Matching) -> bool:
+    """Mate arrays are mutually consistent and every pair is a graph edge."""
+    if matching.n_x != graph.n_x or matching.n_y != graph.n_y:
+        return False
+    if not matching.is_consistent():
+        return False
+    return all(graph.has_edge(x, y) for x, y in matching.pairs())
+
+
+def assert_valid_matching(graph: BipartiteCSR, matching: Matching) -> None:
+    """Raise :class:`VerificationError` unless the matching is valid."""
+    if not is_valid_matching(graph, matching):
+        raise VerificationError("matching is structurally invalid for this graph")
+
+
+def _alternating_reachability(
+    graph: BipartiteCSR, matching: Matching
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """BFS over alternating paths from all unmatched X vertices.
+
+    Returns ``(reach_x, reach_y, found_augmenting)`` where the reach arrays
+    flag vertices reachable by an alternating path that starts with an
+    unmatched X vertex (and hence starts with an unmatched edge).
+    """
+    reach_x = np.zeros(graph.n_x, dtype=bool)
+    reach_y = np.zeros(graph.n_y, dtype=bool)
+    queue: deque[int] = deque()
+    for x in matching.unmatched_x():
+        reach_x[x] = True
+        queue.append(int(x))
+    found = False
+    while queue:
+        x = queue.popleft()
+        for y in graph.neighbors_x(x):
+            y = int(y)
+            if reach_y[y]:
+                continue
+            reach_y[y] = True
+            mate = int(matching.mate_y[y])
+            if mate == UNMATCHED:
+                found = True  # augmenting path exists; keep going for cover
+            elif not reach_x[mate]:
+                reach_x[mate] = True
+                queue.append(mate)
+    return reach_x, reach_y, found
+
+
+def is_maximal_matching(graph: BipartiteCSR, matching: Matching) -> bool:
+    """No graph edge has both endpoints free."""
+    free_y = matching.mate_y == UNMATCHED
+    for x in matching.unmatched_x():
+        nbrs = graph.neighbors_x(int(x))
+        if nbrs.size and bool(free_y[nbrs].any()):
+            return False
+    return True
+
+
+def is_maximum_matching(graph: BipartiteCSR, matching: Matching) -> bool:
+    """Valid and admits no augmenting path (Berge's theorem)."""
+    if not is_valid_matching(graph, matching):
+        return False
+    _, _, found_augmenting = _alternating_reachability(graph, matching)
+    return not found_augmenting
+
+
+def koenig_vertex_cover(
+    graph: BipartiteCSR, matching: Matching
+) -> Tuple[np.ndarray, np.ndarray]:
+    """König cover: ``(cover_x, cover_y)`` index arrays.
+
+    For a *maximum* matching, the König construction — matched X vertices
+    not reachable by alternating paths from free X vertices, plus reachable
+    Y vertices — is a vertex cover of size exactly ``|M|``. Raises
+    :class:`VerificationError` if the input matching is not maximum (the
+    construction then fails to cover, which we detect).
+    """
+    reach_x, reach_y, found = _alternating_reachability(graph, matching)
+    if found:
+        raise VerificationError("König cover requested for a non-maximum matching")
+    matched_x = matching.mate_x != UNMATCHED
+    cover_x = np.flatnonzero(matched_x & ~reach_x)
+    cover_y = np.flatnonzero(reach_y)
+    cover_size = cover_x.size + cover_y.size
+    if cover_size != matching.cardinality:
+        raise VerificationError(
+            f"König cover size {cover_size} != matching cardinality {matching.cardinality}"
+        )
+    # Self-check: every edge must be covered.
+    in_cover_x = np.zeros(graph.n_x, dtype=bool)
+    in_cover_x[cover_x] = True
+    in_cover_y = np.zeros(graph.n_y, dtype=bool)
+    in_cover_y[cover_y] = True
+    xs, ys = graph.edge_arrays()
+    if not bool(np.all(in_cover_x[xs] | in_cover_y[ys])):
+        raise VerificationError("König construction failed to cover all edges")
+    return cover_x, cover_y
+
+
+def hall_violator(graph: BipartiteCSR, matching: Matching) -> np.ndarray:
+    """A deficiency witness: a set ``S`` of X vertices with
+    ``|S| - |N(S)| = n_x - |M|``.
+
+    By the defect form of Hall's theorem, the maximum matching misses
+    exactly ``max_S (|S| - |N(S)|)`` X vertices; the set of X vertices
+    reachable by alternating paths from free X vertices attains the
+    maximum. Returns the (possibly empty) witness set as an index array and
+    self-checks the defect identity; raises
+    :class:`~repro.errors.VerificationError` for non-maximum input.
+    """
+    reach_x, reach_y, found = _alternating_reachability(graph, matching)
+    if found:
+        raise VerificationError("Hall violator requested for a non-maximum matching")
+    s = np.flatnonzero(reach_x)
+    # N(S) == reachable Y: every neighbour of a reachable x is reachable.
+    neighborhood: set[int] = set()
+    for x in s:
+        neighborhood.update(int(y) for y in graph.neighbors_x(int(x)))
+    if neighborhood != set(np.flatnonzero(reach_y).tolist()):
+        raise VerificationError("alternating reachability produced an inconsistent N(S)")
+    deficiency = int(s.size) - len(neighborhood)
+    expected = graph.n_x - matching.cardinality
+    if deficiency != expected:
+        raise VerificationError(
+            f"Hall defect {deficiency} != n_x - |M| = {expected}"
+        )
+    return s
+
+
+def verify_maximum(graph: BipartiteCSR, matching: Matching) -> int:
+    """Full certificate check; returns the certified maximum cardinality.
+
+    Validates the matching, confirms no augmenting path exists, and
+    cross-checks with a König cover of equal size. Raises
+    :class:`VerificationError` on any failure.
+    """
+    assert_valid_matching(graph, matching)
+    if not is_maximum_matching(graph, matching):
+        raise VerificationError("matching admits an augmenting path (not maximum)")
+    koenig_vertex_cover(graph, matching)
+    hall_violator(graph, matching)
+    return matching.cardinality

@@ -1,0 +1,73 @@
+"""Simulated atomic primitives for the interleaved execution simulator.
+
+The paper's implementation claims ``visited`` flags with
+``__sync_fetch_and_or`` and appends to shared queues with
+``__sync_fetch_and_add``. These wrappers provide the same read-modify-write
+semantics over numpy arrays while *counting* operations, so the interleaved
+simulator can both exercise race behaviour and report contention statistics.
+
+Within the simulator, atomicity is trivially guaranteed (one simulated step
+executes at a time); what matters is that algorithms only touch shared state
+through these operations at yield-point granularity, which makes the
+interleaving the only source of nondeterminism — exactly the nondeterminism
+real threads would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AtomicArray:
+    """A numpy integer array with CAS / fetch-and-or / fetch-and-add ops."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+        self.cas_attempts = 0
+        self.cas_failures = 0
+        self.rmw_ops = 0
+
+    def load(self, index: int) -> int:
+        return int(self.array[index])
+
+    def store(self, index: int, value: int) -> None:
+        self.array[index] = value
+
+    def compare_and_swap(self, index: int, expected: int, new: int) -> bool:
+        """Atomically set ``array[index] = new`` iff it equals ``expected``.
+
+        Returns True on success. Counts attempts and failures so tests can
+        assert that contended claims actually failed somewhere.
+        """
+        self.cas_attempts += 1
+        if int(self.array[index]) == expected:
+            self.array[index] = new
+            return True
+        self.cas_failures += 1
+        return False
+
+    def fetch_and_or(self, index: int, mask: int) -> int:
+        self.rmw_ops += 1
+        old = int(self.array[index])
+        self.array[index] = old | mask
+        return old
+
+    def fetch_and_add(self, index: int, delta: int) -> int:
+        self.rmw_ops += 1
+        old = int(self.array[index])
+        self.array[index] = old + delta
+        return old
+
+
+class AtomicCounter:
+    """A single shared counter (e.g. the shared queue's tail pointer)."""
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+        self.rmw_ops = 0
+
+    def fetch_and_add(self, delta: int) -> int:
+        self.rmw_ops += 1
+        old = self.value
+        self.value += delta
+        return old

@@ -1,0 +1,126 @@
+"""Work/span cost model: WorkTrace x MachineSpec x threads -> seconds.
+
+For each barrier-delimited region the model charges::
+
+    time = max_thread_load * unit_ns * numa(p) * bandwidth(p) / thread_speed(p)
+         + amortised_atomics
+         + barrier(p)
+
+where ``max_thread_load`` comes from the region's schedule (static
+contiguous or LPT), ``thread_speed(p) = capacity(p) / p`` accounts for SMT
+sharing, ``numa(p)`` for remote-socket accesses under interleaved
+allocation, and ``bandwidth(p)`` for per-socket memory-bandwidth saturation.
+Sequential regions run on one thread at single-thread speed.
+
+This is a deterministic function of the algorithm's actual work
+distribution, so the scaling *shapes* it produces (which algorithm balances
+load, how many barriers a phase costs, where the socket knees are) are
+genuine properties of the algorithms, not fit parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.parallel.machine import MachineSpec
+from repro.parallel.scheduler import assign_contiguous, assign_lpt
+from repro.parallel.trace import ParallelRegion, WorkTrace
+
+
+@dataclass(frozen=True)
+class SimulatedTime:
+    """Result of simulating one trace on one machine at one thread count."""
+
+    seconds: float
+    threads: int
+    machine: str
+    by_kind: Dict[str, float] = field(default_factory=dict)
+    barrier_seconds: float = 0.0
+    atomic_seconds: float = 0.0
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Share of total time per region kind (Fig. 6 input)."""
+        if self.seconds <= 0:
+            return {}
+        return {k: v / self.seconds for k, v in self.by_kind.items()}
+
+
+class CostModel:
+    """Evaluates :class:`WorkTrace` objects on a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    def region_seconds(self, region: ParallelRegion, threads: int) -> tuple[float, float, float]:
+        """Simulated ``(compute, atomic, barrier)`` seconds for one region."""
+        m = self.machine
+        pattern = m.irregular_access_factor if region.memory_pattern == "irregular" else 1.0
+        unit_ns = m.unit_cost_ns * pattern
+        if region.sequential or threads == 1:
+            compute_ns = region.total_work * unit_ns
+            atomic_ns = (region.atomics + _flushes(region, m)) * m.atomic_cost_ns
+            return compute_ns * 1e-9, atomic_ns * 1e-9, 0.0
+        if region.is_uniform:
+            max_load = region.max_thread_load(threads)
+        elif region.schedule == "dynamic":
+            max_load = float(assign_lpt(region.item_costs, threads).max())
+        else:
+            max_load = float(assign_contiguous(region.item_costs, threads).max())
+        speed = m.compute_capacity(threads) / threads
+        compute_ns = (
+            max_load * unit_ns * m.numa_factor(threads) * m.bandwidth_factor(threads) / speed
+        )
+        # Only threads that actually received items synchronise work and
+        # contend on atomics; a near-empty level is a cheap rendezvous, not
+        # a full-machine barrier.
+        effective = max(1, min(threads, region.num_items))
+        total_atomics = region.atomics + _flushes(region, m)
+        atomic_ns = (total_atomics / threads) * m.atomic_ns(effective)
+        barrier_ns = m.barrier_ns(effective)
+        return compute_ns * 1e-9, atomic_ns * 1e-9, barrier_ns * 1e-9
+
+    def simulate(self, trace: WorkTrace, threads: int) -> SimulatedTime:
+        """Total simulated runtime of a trace at a given thread count."""
+        self.machine._check_threads(threads)
+        total = 0.0
+        barrier_total = 0.0
+        atomic_total = 0.0
+        by_kind: Dict[str, float] = {}
+        for region in trace.regions:
+            compute, atomic, barrier = self.region_seconds(region, threads)
+            region_time = compute + atomic + barrier
+            total += region_time
+            barrier_total += barrier
+            atomic_total += atomic
+            # Attribute the barrier and atomic costs to the region's kind so
+            # the Fig. 6 breakdown reflects synchronization, as the paper's
+            # timers (which wrap whole steps) do.
+            by_kind[region.kind] = by_kind.get(region.kind, 0.0) + region_time
+        return SimulatedTime(
+            seconds=total,
+            threads=threads,
+            machine=self.machine.name,
+            by_kind=by_kind,
+            barrier_seconds=barrier_total,
+            atomic_seconds=atomic_total,
+        )
+
+    def speedup(self, trace: WorkTrace, threads: int) -> float:
+        """Simulated speedup over the single-thread simulation."""
+        serial = self.simulate(trace, 1).seconds
+        parallel = self.simulate(trace, threads).seconds
+        if parallel <= 0:
+            return float("inf") if serial > 0 else 1.0
+        return serial / parallel
+
+    def scaling_curve(self, trace: WorkTrace, thread_counts: list[int]) -> Dict[int, float]:
+        """Map thread count -> simulated seconds, for strong-scaling plots."""
+        return {p: self.simulate(trace, p).seconds for p in thread_counts}
+
+
+def _flushes(region: ParallelRegion, machine: MachineSpec) -> int:
+    """Atomic queue flushes implied by the private-queue scheme."""
+    if region.queue_appends <= 0:
+        return 0
+    return -(-region.queue_appends // machine.queue_capacity)  # ceil division

@@ -1,0 +1,66 @@
+"""Private/shared frontier queues (Graph500 ``omp-csr`` scheme).
+
+Each simulated thread appends discovered vertices to a small private queue;
+when the private queue fills, the thread reserves a slot range in the shared
+global queue with one atomic fetch-and-add and copies the block over. The
+paper credits this scheme for its multi-socket scalability (Section IV-A).
+
+:class:`PrivateQueue` reproduces the mechanism (including the flush
+accounting the cost model charges for); :class:`SharedQueue` is the global
+array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.atomics import AtomicCounter
+
+
+class SharedQueue:
+    """Fixed-capacity shared output queue with an atomic tail pointer."""
+
+    def __init__(self, capacity: int) -> None:
+        self.buffer = np.empty(capacity, dtype=np.int64)
+        self.tail = AtomicCounter(0)
+
+    def reserve(self, count: int) -> int:
+        """Atomically reserve ``count`` slots; returns the start offset."""
+        start = self.tail.fetch_and_add(count)
+        if start + count > self.buffer.shape[0]:
+            raise IndexError(
+                f"shared queue overflow: need {start + count}, capacity {self.buffer.shape[0]}"
+            )
+        return start
+
+    def contents(self) -> np.ndarray:
+        """Snapshot of the enqueued items (in completion order)."""
+        return self.buffer[: self.tail.value].copy()
+
+    def __len__(self) -> int:
+        return self.tail.value
+
+
+class PrivateQueue:
+    """Per-thread buffer that flushes to a :class:`SharedQueue` in blocks."""
+
+    def __init__(self, shared: SharedQueue, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"private queue capacity must be >= 1, got {capacity}")
+        self.shared = shared
+        self.items: list[int] = []
+        self.capacity = capacity
+        self.flushes = 0
+
+    def push(self, item: int) -> None:
+        self.items.append(int(item))
+        if len(self.items) >= self.capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.items:
+            return
+        start = self.shared.reserve(len(self.items))
+        self.shared.buffer[start : start + len(self.items)] = self.items
+        self.items.clear()
+        self.flushes += 1

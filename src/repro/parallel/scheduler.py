@@ -1,0 +1,75 @@
+"""Work-item scheduling onto simulated threads.
+
+Two policies mirror the schedules the compared implementations use:
+
+* :func:`assign_contiguous` — OpenMP ``schedule(static)``: items are split
+  into ``p`` contiguous, equally-counted chunks. This is what the paper's
+  level-synchronous loops use and what makes fine-grained MS-BFS balance
+  well (many small items per chunk average out).
+* :func:`assign_lpt` — longest-processing-time greedy, a standard
+  deterministic stand-in for dynamic/work-stealing schedules. Used for the
+  coarse per-tree tasks of the Pothen-Fan comparison, where a few huge DFS
+  trees dominate and cause the load imbalance the paper blames for PF's
+  poor scaling and high run-to-run variability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulerError
+
+
+def static_chunks(num_items: int, threads: int) -> np.ndarray:
+    """Chunk boundaries for a static contiguous split.
+
+    Returns ``threads + 1`` offsets; thread ``t`` owns items
+    ``[bounds[t], bounds[t+1])``. Chunk sizes differ by at most one.
+    """
+    if threads < 1:
+        raise SchedulerError(f"thread count must be >= 1, got {threads}")
+    if num_items < 0:
+        raise SchedulerError(f"item count must be >= 0, got {num_items}")
+    base, extra = divmod(num_items, threads)
+    sizes = np.full(threads, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def assign_contiguous(item_costs: np.ndarray, threads: int) -> np.ndarray:
+    """Per-thread total cost under a static contiguous schedule."""
+    item_costs = np.asarray(item_costs, dtype=np.float64)
+    bounds = static_chunks(item_costs.size, threads)
+    if item_costs.size == 0:
+        return np.zeros(threads)
+    prefix = np.concatenate([[0.0], np.cumsum(item_costs)])
+    return prefix[bounds[1:]] - prefix[bounds[:-1]]
+
+
+def assign_lpt(item_costs: np.ndarray, threads: int) -> np.ndarray:
+    """Per-thread total cost under longest-processing-time-first greedy.
+
+    Sorts items by decreasing cost and always gives the next item to the
+    least-loaded thread — a 4/3-approximation of optimal makespan and a
+    faithful stand-in for a work-stealing runtime's steady state.
+    """
+    if threads < 1:
+        raise SchedulerError(f"thread count must be >= 1, got {threads}")
+    item_costs = np.asarray(item_costs, dtype=np.float64)
+    loads = np.zeros(threads)
+    if item_costs.size == 0:
+        return loads
+    if threads == 1:
+        loads[0] = float(item_costs.sum())
+        return loads
+    heap: List[Tuple[float, int]] = [(0.0, t) for t in range(threads)]
+    heapq.heapify(heap)
+    for cost in np.sort(item_costs)[::-1]:
+        load, t = heapq.heappop(heap)
+        load += float(cost)
+        loads[t] = load
+        heapq.heappush(heap, (load, t))
+    return loads

@@ -1,0 +1,177 @@
+"""Work traces: what a parallel algorithm did, independent of any machine.
+
+A :class:`WorkTrace` is the interface between matching algorithms and the
+simulated machine. Each :class:`ParallelRegion` corresponds to one
+``parallel for`` between two barriers in the paper's Algorithm 3 (a BFS
+level, the augmentation scan, a grafting sweep, the statistics pass, ...)
+and records the cost of every *independent work item* in that region.
+
+Costs are in abstract work units; the cost model converts them to simulated
+seconds. For traversal regions one unit = one scanned adjacency entry (plus
+a constant per-vertex charge added by the emitting algorithm), so that the
+serial simulated time is proportional to traversed edges — the quantity the
+paper says dominates matching runtime (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+
+@dataclass
+class ParallelRegion:
+    """One barrier-delimited parallel region.
+
+    ``item_costs[i]`` is the work (abstract units) of independent item ``i``;
+    items may be scheduled on any thread. ``atomics`` counts atomic
+    read-modify-write operations issued in the region (visited-flag claims,
+    shared-queue appends), which the cost model charges with a
+    contention-dependent premium. ``kind`` tags the paper's step names so the
+    Fig. 6 breakdown can group regions.
+    """
+
+    kind: str
+    item_costs: np.ndarray
+    atomics: int = 0
+    queue_appends: int = 0
+    """Appends to the shared next-frontier queue. These go through per-thread
+    private queues (Graph500 omp-csr style), so the cost model only charges an
+    atomic per queue *flush*, amortised by the machine's queue capacity."""
+    sequential: bool = False
+    """True for regions that cannot be parallelised (runs on one thread)."""
+    schedule: str = "static"
+    """'static' = contiguous chunks (OpenMP static); 'dynamic' = LPT greedy,
+    approximating guided/work-stealing schedules for coarse irregular tasks."""
+    memory_pattern: str = "streaming"
+    """'streaming' = level-synchronous array sweeps (BFS kernels);
+    'irregular' = dependent pointer chasing (DFS descents, push-relabel
+    min-scans, augmentation path flips). Irregular accesses miss caches and
+    cannot be prefetched, so the machine charges them a latency multiplier —
+    the effect behind the paper's Section V-C observation that DFS-based
+    algorithms search at much lower MTEPS."""
+    uniform_items: int = 0
+    uniform_cost: float = 0.0
+    """Compact representation for regions of many equal-cost items (e.g. the
+    GRAFT statistics sweep touching every vertex once): ``uniform_items``
+    items of ``uniform_cost`` each, with ``item_costs`` left empty."""
+
+    def __post_init__(self) -> None:
+        self.item_costs = np.asarray(self.item_costs, dtype=np.float64).ravel()
+        if self.item_costs.size and self.item_costs.min() < 0:
+            raise ValueError(f"negative work-item cost in region {self.kind!r}")
+        if self.uniform_items and self.item_costs.size:
+            raise ValueError("a region is either uniform or itemised, not both")
+        if self.uniform_items < 0 or self.uniform_cost < 0:
+            raise ValueError(f"negative uniform work in region {self.kind!r}")
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.uniform_items > 0
+
+    @property
+    def total_work(self) -> float:
+        if self.is_uniform:
+            return self.uniform_items * self.uniform_cost
+        return float(self.item_costs.sum())
+
+    @property
+    def num_items(self) -> int:
+        if self.is_uniform:
+            return self.uniform_items
+        return int(self.item_costs.size)
+
+    @property
+    def max_item(self) -> float:
+        if self.is_uniform:
+            return self.uniform_cost
+        return float(self.item_costs.max()) if self.item_costs.size else 0.0
+
+    def max_thread_load(self, threads: int) -> float:
+        """Makespan of the region's items on ``threads`` workers.
+
+        Uniform regions balance perfectly up to the ceiling; itemised regions
+        defer to the schedule policy (resolved by the cost model).
+        """
+        if self.is_uniform:
+            return -(-self.uniform_items // threads) * self.uniform_cost
+        raise ValueError("itemised regions are scheduled by the cost model")
+
+
+@dataclass
+class WorkTrace:
+    """Ordered sequence of parallel regions for one algorithm run."""
+
+    regions: List[ParallelRegion] = field(default_factory=list)
+
+    def add(
+        self,
+        kind: str,
+        item_costs: Iterable[float] | np.ndarray,
+        *,
+        atomics: int = 0,
+        queue_appends: int = 0,
+        sequential: bool = False,
+        schedule: str = "static",
+        memory_pattern: str = "streaming",
+    ) -> ParallelRegion:
+        region = ParallelRegion(
+            kind=kind,
+            item_costs=np.asarray(list(item_costs) if not isinstance(item_costs, np.ndarray) else item_costs),
+            atomics=atomics,
+            queue_appends=queue_appends,
+            sequential=sequential,
+            schedule=schedule,
+            memory_pattern=memory_pattern,
+        )
+        self.regions.append(region)
+        return region
+
+    def add_uniform(
+        self,
+        kind: str,
+        num_items: int,
+        cost_per_item: float = 1.0,
+        *,
+        atomics: int = 0,
+        sequential: bool = False,
+    ) -> ParallelRegion:
+        """Add a region of ``num_items`` equal-cost items without building
+        an item array (used for O(n) sweeps like the GRAFT statistics)."""
+        region = ParallelRegion(
+            kind=kind,
+            item_costs=np.empty(0),
+            atomics=atomics,
+            sequential=sequential,
+            uniform_items=int(num_items),
+            uniform_cost=float(cost_per_item),
+        )
+        self.regions.append(region)
+        return region
+
+    @property
+    def total_work(self) -> float:
+        """Total work across all regions — the serial execution cost."""
+        return sum(r.total_work for r in self.regions)
+
+    @property
+    def span(self) -> float:
+        """Critical-path work: the max item per region, summed over regions.
+
+        The infinite-thread lower bound of the simulated runtime (excluding
+        per-barrier constants).
+        """
+        return sum((r.total_work if r.sequential else r.max_item) for r in self.regions)
+
+    @property
+    def num_barriers(self) -> int:
+        return len(self.regions)
+
+    def by_kind(self) -> dict[str, float]:
+        """Total work grouped by region kind (Fig. 6 breakdown input)."""
+        out: dict[str, float] = {}
+        for region in self.regions:
+            out[region.kind] = out.get(region.kind, 0.0) + region.total_work
+        return out

@@ -1,0 +1,84 @@
+"""Work-trace serialization.
+
+Traces are the expensive artifact of a run (the algorithm must execute to
+produce one); the cost model is cheap. Persisting traces lets machine-model
+exploration (sweeping thread counts, NUMA factors, queue capacities) run
+without re-executing algorithms — the workflow behind the calibration notes
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.parallel.trace import ParallelRegion, WorkTrace
+
+_FORMAT = "repro-work-trace"
+_VERSION = 1
+
+
+def save_trace(trace: WorkTrace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
+    meta = []
+    arrays = {}
+    for i, region in enumerate(trace.regions):
+        meta.append(
+            (
+                region.kind,
+                region.atomics,
+                region.queue_appends,
+                int(region.sequential),
+                region.schedule,
+                region.memory_pattern,
+                region.uniform_items,
+                region.uniform_cost,
+            )
+        )
+        arrays[f"items_{i}"] = region.item_costs
+    meta_arr = np.array(
+        meta,
+        dtype=[
+            ("kind", "U32"),
+            ("atomics", "i8"),
+            ("queue_appends", "i8"),
+            ("sequential", "i8"),
+            ("schedule", "U16"),
+            ("memory_pattern", "U16"),
+            ("uniform_items", "i8"),
+            ("uniform_cost", "f8"),
+        ],
+    )
+    np.savez_compressed(
+        path, format=np.array(_FORMAT), version=np.array(_VERSION), meta=meta_arr, **arrays
+    )
+
+
+def load_trace(path: Union[str, Path]) -> WorkTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "format" not in data or str(data["format"]) != _FORMAT:
+            raise GraphFormatError(f"{path}: not a {_FORMAT} file")
+        if int(data["version"]) > _VERSION:
+            raise GraphFormatError(f"{path}: written by a newer version")
+        trace = WorkTrace()
+        meta = data["meta"]
+        for i in range(meta.shape[0]):
+            row = meta[i]
+            trace.regions.append(
+                ParallelRegion(
+                    kind=str(row["kind"]),
+                    item_costs=data[f"items_{i}"],
+                    atomics=int(row["atomics"]),
+                    queue_appends=int(row["queue_appends"]),
+                    sequential=bool(row["sequential"]),
+                    schedule=str(row["schedule"]),
+                    memory_pattern=str(row["memory_pattern"]),
+                    uniform_items=int(row["uniform_items"]),
+                    uniform_cost=float(row["uniform_cost"]),
+                )
+            )
+        return trace

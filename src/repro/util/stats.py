@@ -1,0 +1,44 @@
+"""Small statistics helpers shared by instrumentation and the bench harness.
+
+These exist (rather than using numpy directly at call sites) so that the
+definitions match the paper: the parallel sensitivity measure in Section V-B
+is the *population* coefficient of variation expressed as a percentage,
+``psi = 100 * sigma / mu``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (ddof=0), as used for the psi measure."""
+    values = list(values)
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """``100 * sigma / mu`` — the paper's parallel sensitivity psi."""
+    mu = mean(values)
+    if mu == 0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return 100.0 * stddev(values) / mu
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; used to average relative speedups across graphs."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

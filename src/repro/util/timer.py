@@ -1,0 +1,79 @@
+"""Wall-clock timers used by the instrumentation layer.
+
+:class:`Timer` measures one interval; :class:`StepTimer` accumulates named
+intervals (the per-step runtime breakdown of Fig. 6 uses it to attribute time
+to TopDown / BottomUp / Augment / Graft / Statistics).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Timer:
+    """A simple start/stop wall-clock timer based on ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and add the interval to :attr:`elapsed`."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class StepTimer:
+    """Accumulates wall-clock time under named steps.
+
+    >>> t = StepTimer()
+    >>> with t.step("topdown"):
+    ...     pass
+    >>> sorted(t.totals) == ["topdown"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually attribute ``seconds`` to step ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-step share of the total (empty dict if nothing was timed)."""
+        total = self.total
+        if total <= 0.0:
+            return {}
+        return {name: value / total for name, value in self.totals.items()}

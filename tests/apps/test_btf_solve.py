@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.btf_solve import solve_btf
+from repro.errors import ReproError
+
+
+def random_btf_solvable(n: int, seed: int, extra_density: float = 0.1):
+    """A square sparse matrix with nonzero diagonal (structurally full
+    rank) plus random off-diagonal entries, made diagonally dominant so
+    every diagonal block is numerically non-singular."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < extra_density, rng.normal(size=(n, n)), 0.0)
+    dense[np.arange(n), np.arange(n)] = n + rng.random(n)  # dominance
+    return sp.csr_matrix(dense)
+
+
+class TestSolveBtf:
+    def test_matches_dense_solve(self):
+        A = random_btf_solvable(30, seed=0)
+        b = np.arange(30, dtype=float)
+        x = solve_btf(A, b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+    def test_triangular_matrix(self):
+        n = 12
+        dense = np.triu(np.ones((n, n)))
+        A = sp.csr_matrix(dense)
+        b = np.ones(n)
+        x = solve_btf(A, b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-10)
+
+    def test_permuted_block_matrix(self):
+        # Two decoupled diagonal blocks, hidden by a random permutation.
+        rng = np.random.default_rng(3)
+        blocks = [rng.normal(size=(5, 5)) + 5 * np.eye(5) for _ in range(2)]
+        dense = np.zeros((10, 10))
+        dense[:5, :5] = blocks[0]
+        dense[5:, 5:] = blocks[1]
+        p = rng.permutation(10)
+        q = rng.permutation(10)
+        A = sp.csr_matrix(dense[np.ix_(p, q)])
+        b = rng.normal(size=10)
+        x = solve_btf(A, b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+    def test_structurally_singular_rejected(self):
+        dense = np.zeros((3, 3))
+        dense[:, 0] = 1.0  # all rows confined to column 0
+        with pytest.raises(ReproError):
+            solve_btf(sp.csr_matrix(dense), np.ones(3))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ReproError):
+            solve_btf(sp.csr_matrix(np.ones((2, 3))), np.ones(2))
+
+    def test_bad_rhs_shape(self):
+        A = random_btf_solvable(4, seed=1)
+        with pytest.raises(ReproError):
+            solve_btf(A, np.ones(5))
+
+    def test_precomputed_matching_accepted(self):
+        from repro.core.driver import ms_bfs_graft
+        from repro.graph.builder import from_scipy_sparse
+
+        A = random_btf_solvable(20, seed=2)
+        matching = ms_bfs_graft(from_scipy_sparse(A), emit_trace=False).matching
+        b = np.ones(20)
+        x = solve_btf(A, b, matching=matching)
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+    @given(n=st.integers(2, 25), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_solve_correct(self, n, seed):
+        A = random_btf_solvable(n, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.normal(size=n)
+        x = solve_btf(A, b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-6)

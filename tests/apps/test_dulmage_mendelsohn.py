@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dulmage_mendelsohn import dulmage_mendelsohn
+from repro.core.driver import ms_bfs_graft
+from repro.errors import VerificationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_bipartite, planted_matching, random_bipartite
+from repro.matching.base import Matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.pothen_fan import pothen_fan
+
+
+def dm_of(graph):
+    result = ms_bfs_graft(graph, emit_trace=False)
+    return dulmage_mendelsohn(graph, result.matching)
+
+
+class TestCoarseDecomposition:
+    def test_square_perfect_graph_all_square(self):
+        g = planted_matching(20, extra_edges=30, seed=0)
+        dm = dm_of(g)
+        assert dm.square_x.size == 20 and dm.square_y.size == 20
+        assert dm.horizontal_x.size == 0 and dm.vertical_x.size == 0
+
+    def test_wide_graph_horizontal(self):
+        g = complete_bipartite(2, 5)  # more columns than rows
+        dm = dm_of(g)
+        assert dm.horizontal_y.size == 5
+        assert dm.horizontal_x.size == 2
+        assert dm.vertical_x.size == 0
+
+    def test_tall_graph_vertical(self):
+        g = complete_bipartite(5, 2)
+        dm = dm_of(g)
+        assert dm.vertical_x.size == 5
+        assert dm.vertical_y.size == 2
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        g = random_bipartite(25, 18, 70, seed=1)
+        dm = dm_of(g)
+        xs = np.concatenate([dm.horizontal_x, dm.square_x, dm.vertical_x])
+        ys = np.concatenate([dm.horizontal_y, dm.square_y, dm.vertical_y])
+        assert sorted(xs.tolist()) == list(range(25))
+        assert sorted(ys.tolist()) == list(range(18))
+
+    def test_rejects_non_maximum(self):
+        g = from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        with pytest.raises(VerificationError):
+            dulmage_mendelsohn(g, Matching.from_pairs(2, 2, [(1, 0)]))
+
+    def test_mixed_structure(self):
+        # Disjoint union: a wide block (rows 0-1, cols 0-3) and a tall block
+        # (rows 2-5, cols 4-5).
+        edges = [(x, y) for x in range(2) for y in range(4)]
+        edges += [(x, y) for x in range(2, 6) for y in (4, 5)]
+        g = from_edges(6, 6, edges)
+        dm = dm_of(g)
+        assert set(dm.horizontal_x.tolist()) == {0, 1}
+        assert set(dm.horizontal_y.tolist()) == {0, 1, 2, 3}
+        assert set(dm.vertical_x.tolist()) == {2, 3, 4, 5}
+        assert set(dm.vertical_y.tolist()) == {4, 5}
+
+    def test_summary_string(self):
+        dm = dm_of(complete_bipartite(3, 3))
+        assert "square (3 x 3)" in dm.summary()
+
+
+class TestCanonicality:
+    @given(
+        n_x=st.integers(2, 14),
+        n_y=st.integers(2, 14),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_independent_of_matching_algorithm(self, n_x, n_y, seed):
+        """The coarse DM decomposition is a graph invariant: it must not
+        depend on which maximum matching was supplied."""
+        g = random_bipartite(n_x, n_y, min(n_x * n_y, 3 * n_x), seed=seed)
+        dm_a = dulmage_mendelsohn(g, hopcroft_karp(g).matching)
+        dm_b = dulmage_mendelsohn(g, pothen_fan(g).matching)
+        for field in ("horizontal_x", "horizontal_y", "square_x", "square_y",
+                      "vertical_x", "vertical_y"):
+            assert np.array_equal(getattr(dm_a, field), getattr(dm_b, field)), field
+
+    def test_horizontal_x_fully_matched(self):
+        g = random_bipartite(20, 30, 100, seed=3)
+        result = ms_bfs_graft(g, emit_trace=False)
+        dm = dulmage_mendelsohn(g, result.matching)
+        for x in dm.horizontal_x:
+            assert result.matching.mate_x[int(x)] != -1
+
+    def test_vertical_y_fully_matched(self):
+        g = random_bipartite(30, 20, 100, seed=4)
+        result = ms_bfs_graft(g, emit_trace=False)
+        dm = dulmage_mendelsohn(g, result.matching)
+        for y in dm.vertical_y:
+            assert result.matching.mate_y[int(y)] != -1

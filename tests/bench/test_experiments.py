@@ -1,0 +1,179 @@
+"""Every experiment driver runs end-to-end at miniature scale and produces
+the paper's qualitative structure."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    sensitivity,
+    table1,
+    table2,
+)
+
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def suite_runs():
+    from repro.bench.experiments._shared import run_suite_trio
+
+    return run_suite_trio(
+        scale=SCALE,
+        algorithms=("ms-bfs-graft", "pothen-fan", "push-relabel",
+                    "ms-bfs", "ms-bfs-do"),
+    )
+
+
+class TestTables:
+    def test_table1(self):
+        result = table1.run()
+        out = result.render()
+        assert "Mirasol" in out and "Edison" in out
+        assert result.machines[0].max_threads == 80
+
+    def test_table2(self):
+        result = table2.run(scale=SCALE)
+        assert len(result.rows) == 11
+        out = result.render()
+        assert "kkt-like" in out
+        for row in result.rows:
+            assert 0 < row.matching_fraction <= 1.0
+            assert row.maximum_cardinality > 0
+
+
+class TestFig1:
+    def test_structure(self):
+        result = fig1.run(scale=SCALE)
+        assert len(result.rows) == 3 * 5
+        by_graph = result.by_graph()
+        for graph, rows in by_graph.items():
+            cards = {r.cardinality for r in rows}
+            assert len(cards) == 1, f"algorithms disagree on {graph}"
+        assert "ss-dfs" in result.render()
+
+    def test_ssdfs_longest_paths(self):
+        result = fig1.run(scale=SCALE)
+        for graph, rows in result.by_graph().items():
+            lengths = {r.algorithm: r.avg_path_length for r in rows}
+            if lengths["ss-bfs"] > 0 and lengths["ss-dfs"] > 0:
+                # DFS never finds shorter augmenting paths on average (Fig 1c).
+                assert lengths["ss-dfs"] >= lengths["ss-bfs"] - 1e-9
+
+
+class TestFig3(object):
+    def test_rows_and_relative_speedups(self, suite_runs):
+        result = fig3.run(suite_runs=suite_runs)
+        assert len(result.rows) == 11 * 2
+        for row in result.rows:
+            # The slowest algorithm has relative speedup exactly 1.
+            assert min(row.relative_speedup.values()) == pytest.approx(1.0)
+        assert result.pairwise_gain(40, "push-relabel") > 1.0
+
+    def test_render(self, suite_runs):
+        out = fig3.run(suite_runs=suite_runs).render()
+        assert "geometric-mean gain" in out
+
+
+class TestFig4:
+    def test_mteps_positive(self, suite_runs):
+        result = fig4.run(suite_runs=suite_runs)
+        for row in result.rows:
+            assert row.graft_mteps > 0 and row.pf_mteps > 0
+        assert "MTEPS" in result.render()
+
+
+class TestFig5:
+    def test_curves(self, suite_runs):
+        result = fig5.run(suite_runs=suite_runs)
+        machines = {c.machine for c in result.curves}
+        assert machines == {"Mirasol", "Edison"}
+        for curve in result.curves:
+            assert curve.speedups[0] == pytest.approx(1.0)
+            # Speedup at the full machine beats 1 thread.
+            assert max(curve.speedups) > 1.0
+        assert "strong scaling" in result.render()
+
+
+class TestFig6:
+    def test_fractions(self, suite_runs):
+        result = fig6.run(suite_runs=suite_runs)
+        for row in result.rows:
+            total = sum(row.fractions.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+            assert 0 <= row.bfs_fraction <= 1
+        assert "%" in result.render()
+
+
+class TestFig7:
+    def test_contributions(self, suite_runs):
+        result = fig7.run(suite_runs=suite_runs)
+        avg = result.average_contribution()
+        assert avg["ms-bfs"] == pytest.approx(1.0)
+        # Grafting must help overall (paper: ~3x on top of DO).
+        assert avg["ms-bfs-graft"] > 1.0
+        assert "direction optimization" in result.render()
+
+    def test_networks_benefit_most(self, suite_runs):
+        result = fig7.run(suite_runs=suite_runs)
+        by_group = {}
+        for row in result.rows:
+            by_group.setdefault(row.group, []).append(
+                row.speedup_over_msbfs("ms-bfs-graft")
+            )
+        net = sum(by_group["networks"]) / len(by_group["networks"])
+        sci = sum(by_group["scientific"]) / len(by_group["scientific"])
+        assert net > sci
+
+
+class TestFig8:
+    def test_frontier_shapes(self):
+        result = fig8.run(scale=SCALE)
+        assert result.graft_levels[0], "graft phase 1 recorded no levels"
+        assert "frontier sizes" in result.render().lower()
+
+    def test_grafted_phase_starts_larger(self):
+        result = fig8.run(scale=0.15)
+        # Paper Fig. 8: with grafting, later phases *start* with a larger
+        # frontier than the unmatched-roots restart.
+        if result.graft_levels[1] and result.nograft_levels[1]:
+            assert result.graft_levels[1][0] != result.nograft_levels[1][0] or (
+                result.graft_levels[1] != result.nograft_levels[1]
+            )
+
+
+class TestSensitivity:
+    def test_psi_computed(self):
+        result = sensitivity.run(scale=SCALE, runs=3, names=["copapers-like"])
+        assert len(result.rows) == 1
+        for algo, psi in result.rows[0].psi.items():
+            assert psi >= 0
+        assert "psi" in result.render()
+
+
+class TestAblations:
+    def test_alpha_sweep(self):
+        result = ablation.alpha_sweep(scale=SCALE, alphas=(1.0, 5.0),
+                                      names=("copapers-like",))
+        assert len(result.rows) == 2
+        assert "alpha" in result.render()
+
+    def test_initializer_comparison(self):
+        result = ablation.initializer_comparison(scale=SCALE, names=("rmat",))
+        assert len(result.rows) == 4
+        # Better initialisers leave a smaller deficit.
+        deficits = {row[1]: row[4] for row in result.rows}
+        assert deficits["karp-sipser"] <= deficits["none"]
+
+    def test_queue_sweep(self):
+        result = ablation.queue_capacity_sweep(scale=SCALE, capacities=(1, 1024),
+                                               names=("copapers-like",))
+        times = [row[2] for row in result.rows]
+        # Unamortised atomics (capacity 1) must not be faster.
+        assert times[0] >= times[1]

@@ -1,0 +1,88 @@
+from repro.bench.report import format_bar_chart, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [12345.6], [0.0]])
+        assert "0.123" in out
+        assert "12,346" in out
+
+    def test_int_thousands(self):
+        out = format_table(["v"], [[123456]])
+        assert "123,456" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = format_bar_chart({"x": 1.0, "y": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_unit(self):
+        out = format_bar_chart({"a": 3.0}, title="T", unit="ms")
+        assert out.startswith("T")
+        assert "3ms" in out
+
+    def test_empty(self):
+        assert "(no data)" in format_bar_chart({})
+
+    def test_zero_values(self):
+        out = format_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+
+class TestSeries:
+    def test_ragged_series(self):
+        out = format_series({"s1": [1, 2, 3], "s2": [9]}, title="F")
+        assert out.startswith("F")
+        lines = out.splitlines()
+        assert len(lines) == 2 + 3 + 1  # title, header, dashes... check rows
+        assert "s1" in lines[1]
+
+    def test_empty(self):
+        out = format_series({})
+        assert "level" in out
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        from repro.bench.report import format_line_chart
+
+        out = format_line_chart(
+            {"a": [1.0, 2.0, 4.0], "b": [1.0, 1.5, 2.0]},
+            [1, 2, 4],
+            title="chart",
+        )
+        assert out.startswith("chart")
+        assert "o = a" in out and "x = b" in out
+        assert "+---" in out  # x axis
+
+    def test_empty(self):
+        from repro.bench.report import format_line_chart
+
+        assert "(no data)" in format_line_chart({})
+
+    def test_constant_series(self):
+        from repro.bench.report import format_line_chart
+
+        out = format_line_chart({"flat": [3.0, 3.0, 3.0]})
+        assert "o = flat" in out
+
+    def test_single_point(self):
+        from repro.bench.report import format_line_chart
+
+        out = format_line_chart({"p": [5.0]}, [10])
+        assert "o = p" in out

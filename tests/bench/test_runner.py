@@ -1,0 +1,71 @@
+import pytest
+
+from repro.bench.runner import (
+    ALGORITHMS,
+    PARALLEL_ALGORITHMS,
+    run_algorithm,
+    simulated_seconds,
+    suite_initializer,
+)
+from repro.errors import BenchmarkError
+from repro.graph.generators import random_bipartite, surplus_core_bipartite
+from repro.matching.verify import is_maximal_matching, verify_maximum
+from repro.parallel.machine import MIRASOL
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return surplus_core_bipartite(60, 30, seed=1)
+
+
+class TestRegistry:
+    def test_all_nine_algorithms(self):
+        assert len(ALGORITHMS) == 9
+        assert set(PARALLEL_ALGORITHMS) <= set(ALGORITHMS)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_each_algorithm_runs_maximum(self, name, graph):
+        result = run_algorithm(name, graph, seed=0)
+        verify_maximum(graph, result.matching)
+
+    def test_unknown_algorithm(self, graph):
+        with pytest.raises(BenchmarkError):
+            run_algorithm("quantum", graph)
+
+    def test_unknown_initialiser(self, graph):
+        with pytest.raises(BenchmarkError):
+            run_algorithm("ms-bfs-graft", graph, init="magic")
+
+    def test_init_none_runs_from_empty(self, graph):
+        result = run_algorithm("ms-bfs-graft", graph, init="none")
+        verify_maximum(graph, result.matching)
+
+    def test_serial_karp_sipser_init(self, graph):
+        result = run_algorithm("ms-bfs-graft", graph, init="karp-sipser")
+        verify_maximum(graph, result.matching)
+
+
+class TestSuiteInitializer:
+    def test_maximal(self, graph):
+        init = suite_initializer(graph, seed=0)
+        assert is_maximal_matching(graph, init)
+
+    def test_seed_sensitivity(self):
+        g = random_bipartite(60, 60, 300, seed=2)
+        a = suite_initializer(g, seed=1)
+        b = suite_initializer(g, seed=2)
+        assert a != b
+
+
+class TestSimulatedSeconds:
+    def test_parallel_trio_all_have_traces(self, graph):
+        for name in PARALLEL_ALGORITHMS:
+            result = run_algorithm(name, graph, seed=0)
+            sim = simulated_seconds(result, MIRASOL, 40)
+            assert sim.seconds > 0
+            assert sim.machine == "Mirasol"
+
+    def test_missing_trace_raises(self, graph):
+        result = run_algorithm("ss-bfs", graph, seed=0)
+        with pytest.raises(BenchmarkError):
+            simulated_seconds(result, MIRASOL, 4)

@@ -1,0 +1,53 @@
+"""The vertex-count vs edge-count direction-switch strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import ms_bfs_graft
+from repro.errors import ReproError
+from repro.graph.generators import random_bipartite, rmat_bipartite, surplus_core_bipartite
+from repro.matching.greedy import greedy_matching
+from repro.matching.verify import verify_maximum
+
+
+class TestEdgeStrategy:
+    @pytest.mark.parametrize("engine", ["python", "numpy", "interleaved"])
+    def test_same_maximum_as_vertex_strategy(self, engine):
+        graph = surplus_core_bipartite(80, 48, seed=0)
+        init = greedy_matching(graph, shuffle=True, seed=1).matching
+        vertex = ms_bfs_graft(graph, init, engine=engine, direction_strategy="vertex")
+        edge = ms_bfs_graft(graph, init, engine=engine, direction_strategy="edge")
+        assert vertex.cardinality == edge.cardinality
+        verify_maximum(graph, edge.matching)
+
+    def test_unknown_strategy_rejected(self):
+        graph = random_bipartite(4, 4, 6, seed=0)
+        with pytest.raises(ReproError):
+            ms_bfs_graft(graph, direction_strategy="hybrid")
+
+    def test_strategies_can_pick_different_directions(self):
+        # On a hub-heavy graph the degree-weighted rule switches to
+        # bottom-up at a different point than the vertex-count rule.
+        graph = rmat_bipartite(scale=9, edge_factor=8, seed=3)
+        init = greedy_matching(graph, shuffle=True, seed=2).matching
+        vertex = ms_bfs_graft(graph, init, direction_strategy="vertex")
+        edge = ms_bfs_graft(graph, init, direction_strategy="edge")
+        assert vertex.cardinality == edge.cardinality
+        # Not required to differ on every instance, but the counters must be
+        # populated for both.
+        assert vertex.counters.bfs_levels > 0 and edge.counters.bfs_levels > 0
+
+    @given(seed=st.integers(0, 100), n=st.integers(4, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_edge_strategy_always_maximum(self, seed, n):
+        graph = random_bipartite(n, n, min(n * n, 3 * n), seed=seed)
+        result = ms_bfs_graft(graph, direction_strategy="edge", emit_trace=False)
+        verify_maximum(graph, result.matching)
+
+    def test_without_direction_optimization_strategy_is_moot(self):
+        graph = random_bipartite(20, 20, 60, seed=4)
+        result = ms_bfs_graft(
+            graph, direction_optimizing=False, direction_strategy="edge"
+        )
+        assert result.counters.bottomup_steps == 0

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.forest import ForestState
+from repro.graph.builder import from_edges
+from repro.graph.generators import random_bipartite
+from repro.matching.base import Matching
+from repro.matching.greedy import greedy_matching
+
+
+class TestInitialState:
+    def test_sizes(self):
+        s = ForestState(3, 5)
+        assert s.visited.shape == (5,)
+        assert s.root_x.shape == (3,)
+        assert s.num_unvisited_y == 5
+
+    def test_for_graph(self):
+        g = from_edges(2, 4, [(0, 0)])
+        s = ForestState.for_graph(g)
+        assert s.n_x == 2 and s.n_y == 4
+
+    def test_all_unset(self):
+        s = ForestState(2, 2)
+        assert not s.visited.any()
+        assert (s.parent == -1).all()
+        assert (s.leaf == -1).all()
+
+
+class TestMasks:
+    def test_active_and_renewable_disjoint(self):
+        g = random_bipartite(20, 20, 70, seed=0)
+        m = greedy_matching(g, shuffle=True, seed=1).matching
+        s = ForestState.for_graph(g)
+        f = kernels.rebuild_from_unmatched(s, m)
+        while f.size:
+            f = kernels.topdown_level(g, s, m, f).next_frontier
+        ax, rx = s.active_x_mask(), s.renewable_x_mask()
+        assert not (ax & rx).any()
+        ay, ry = s.active_y_mask(), s.renewable_y_mask()
+        assert not (ay & ry).any()
+
+    def test_vertex_not_in_tree_in_neither(self):
+        s = ForestState(3, 3)
+        assert not s.active_x_mask().any()
+        assert not s.renewable_x_mask().any()
+
+
+class TestInvariantChecker:
+    def _grown(self):
+        g = random_bipartite(15, 15, 60, seed=3)
+        m = greedy_matching(g).matching
+        s = ForestState.for_graph(g)
+        f = kernels.rebuild_from_unmatched(s, m)
+        while f.size:
+            f = kernels.topdown_level(g, s, m, f).next_frontier
+        return g, m, s
+
+    def test_passes_on_valid_forest(self):
+        g, m, s = self._grown()
+        s.check_invariants(g, m)
+
+    def test_detects_bad_parent_edge(self):
+        g, m, s = self._grown()
+        visited = np.flatnonzero(s.visited)
+        if visited.size:
+            y = int(visited[0])
+            # point the parent at a non-neighbour
+            bad = next(x for x in range(g.n_x) if not g.has_edge(x, y))
+            s.parent[y] = bad
+            with pytest.raises(AssertionError):
+                s.check_invariants(g, m)
+
+    def test_detects_root_mismatch(self):
+        g, m, s = self._grown()
+        visited = np.flatnonzero(s.visited)
+        if visited.size:
+            y = int(visited[0])
+            s.root_y[y] = -1
+            with pytest.raises(AssertionError):
+                s.check_invariants(g, m)
+
+
+class TestPathToRoot:
+    def test_alternation(self):
+        g = from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        m = Matching.from_pairs(2, 2, [(1, 0)])
+        s = ForestState.for_graph(g)
+        f = kernels.rebuild_from_unmatched(s, m)
+        while f.size:
+            f = kernels.topdown_level(g, s, m, f).next_frontier
+        path = s.alternating_path_to_root(m, int(s.leaf[0]))
+        # y1 -> x1 -> y0 -> x0: 4 vertices, ends at the root.
+        assert path == [1, 1, 0, 0]

@@ -1,0 +1,188 @@
+"""Unit tests of the vectorized level kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.forest import ForestState
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.matching.base import Matching
+
+
+def fresh(graph, matching=None):
+    state = ForestState.for_graph(graph)
+    matching = matching or Matching.empty(graph.n_x, graph.n_y)
+    frontier = kernels.rebuild_from_unmatched(state, matching)
+    return state, matching, frontier
+
+
+class TestTopDown:
+    def test_claims_each_target_once(self):
+        g = complete_bipartite(3, 2)  # all x share both y's
+        state, matching, frontier = fresh(g)
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.claims == 2
+        assert int(state.visited.sum()) == 2
+        # First frontier vertex in order wins both claims.
+        assert state.parent[0] == 0 and state.parent[1] == 0
+
+    def test_edge_count_full_scan(self):
+        g = complete_bipartite(3, 2)
+        state, matching, frontier = fresh(g)
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.edges == 6  # parallel semantics: every neighbour scanned
+
+    def test_unmatched_target_sets_leaf(self):
+        g = from_edges(1, 1, [(0, 0)])
+        state, matching, frontier = fresh(g)
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.endpoints == 1
+        assert state.leaf[0] == 0
+
+    def test_one_leaf_per_tree(self):
+        # One root adjacent to 3 free Y vertices: only one becomes the leaf.
+        g = from_edges(1, 3, [(0, 0), (0, 1), (0, 2)])
+        state, matching, frontier = fresh(g)
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.endpoints == 1
+        assert state.leaf[0] == 0  # deterministic first winner
+        assert int(state.visited.sum()) == 3  # others still claimed (benign race)
+
+    def test_matched_target_enqueues_mate(self):
+        g = from_edges(2, 1, [(0, 0), (1, 0)])
+        matching = Matching.from_pairs(2, 1, [(1, 0)])
+        state = ForestState.for_graph(g)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.next_frontier.tolist() == [1]
+        assert state.root_x[1] == 0
+
+    def test_skips_renewable_tree_members(self):
+        g = from_edges(1, 1, [(0, 0)])
+        state, matching, frontier = fresh(g)
+        state.leaf[0] = 0  # tree already renewable
+        stats = kernels.topdown_level(g, state, matching, frontier)
+        assert stats.edges == 0 and stats.claims == 0
+
+    def test_empty_frontier(self):
+        g = complete_bipartite(2, 2)
+        state, matching, _ = fresh(g)
+        stats = kernels.topdown_level(g, state, matching, np.empty(0, dtype=np.int64))
+        assert stats.edges == 0
+        assert stats.next_frontier.size == 0
+
+    def test_unvisited_counter_updated(self):
+        g = complete_bipartite(3, 3)
+        state, matching, frontier = fresh(g)
+        kernels.topdown_level(g, state, matching, frontier)
+        assert state.num_unvisited_y == 0
+
+
+class TestBottomUp:
+    def test_attaches_to_first_active_neighbor(self):
+        g = from_edges(2, 1, [(0, 0), (1, 0)])
+        state, matching, frontier = fresh(g)  # both x are roots
+        stats = kernels.bottomup_level(g, state, matching, np.array([0]))
+        assert stats.claims == 1
+        assert state.parent[0] == 0  # lowest-index neighbour wins
+        assert stats.edges == 1  # early break after first hit
+
+    def test_scans_full_row_without_hit(self):
+        g = from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        matching = Matching.from_pairs(2, 2, [(0, 0), (1, 1)])
+        state = ForestState.for_graph(g)
+        # Perfect matching: no unmatched X -> no trees -> no active vertices.
+        kernels.rebuild_from_unmatched(state, matching)
+        stats = kernels.bottomup_level(g, state, matching, np.array([0]))
+        assert stats.claims == 0
+        assert stats.edges == 2  # full row scanned, no break
+
+    def test_unmatched_row_creates_leaf(self):
+        g = from_edges(1, 1, [(0, 0)])
+        state, matching, frontier = fresh(g)
+        stats = kernels.bottomup_level(g, state, matching, np.array([0]))
+        assert stats.endpoints == 1
+        assert state.leaf[0] == 0
+
+    def test_degree_zero_rows(self):
+        g = from_edges(1, 2, [(0, 0)])
+        state, matching, _ = fresh(g)
+        stats = kernels.bottomup_level(g, state, matching, np.array([1]))
+        assert stats.claims == 0
+        assert stats.edges == 0
+
+    def test_empty_rows(self):
+        g = complete_bipartite(2, 2)
+        state, matching, _ = fresh(g)
+        stats = kernels.bottomup_level(g, state, matching, np.empty(0, dtype=np.int64))
+        assert stats.edges == 0
+
+
+class TestAugmentAll:
+    def test_flips_path(self):
+        g = from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        matching = Matching.from_pairs(2, 2, [(1, 0)])
+        state = ForestState.for_graph(g)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        frontier = kernels.topdown_level(g, state, matching, frontier).next_frontier
+        while frontier.size:
+            frontier = kernels.topdown_level(g, state, matching, frontier).next_frontier
+        roots, lengths = kernels.augment_all(state, matching)
+        assert roots.tolist() == [0]
+        assert lengths == [3]
+        assert matching.cardinality == 2
+        assert matching.is_consistent()
+
+    def test_no_paths(self):
+        g = complete_bipartite(2, 2)
+        matching = Matching.from_pairs(2, 2, [(0, 0), (1, 1)])
+        state = ForestState.for_graph(g)
+        kernels.rebuild_from_unmatched(state, matching)
+        roots, lengths = kernels.augment_all(state, matching)
+        assert roots.size == 0 and lengths == []
+
+
+class TestGraftStatistics:
+    def test_classification(self):
+        g = from_edges(2, 2, [(0, 0), (1, 1)])
+        matching = Matching.empty(2, 2)
+        state = ForestState.for_graph(g)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        kernels.topdown_level(g, state, matching, frontier)
+        # Both trees found augmenting paths -> no active vertices remain.
+        kernels.augment_all(state, matching)
+        stats = kernels.graft_statistics(state)
+        assert stats.active_x_count == 0
+        assert sorted(stats.renewable_y.tolist()) == [0, 1]
+        assert stats.active_y.size == 0
+
+    def test_renewable_roots_cleared(self):
+        g = from_edges(1, 1, [(0, 0)])
+        matching = Matching.empty(1, 1)
+        state = ForestState.for_graph(g)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        kernels.topdown_level(g, state, matching, frontier)
+        kernels.augment_all(state, matching)
+        kernels.graft_statistics(state)
+        assert state.root_x[0] == -1  # renewable X root pointer cleared
+
+
+class TestResetAndRebuild:
+    def test_reset_rows(self):
+        g = complete_bipartite(2, 2)
+        state, matching, frontier = fresh(g)
+        kernels.topdown_level(g, state, matching, frontier)
+        before = state.num_unvisited_y
+        kernels.reset_rows(state, np.array([0, 1]))
+        assert state.num_unvisited_y == before + 2
+        assert not state.visited.any()
+
+    def test_rebuild_sets_roots(self):
+        g = complete_bipartite(3, 3)
+        matching = Matching.from_pairs(3, 3, [(1, 1)])
+        state = ForestState.for_graph(g)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        assert sorted(frontier.tolist()) == [0, 2]
+        assert state.root_x[0] == 0 and state.root_x[2] == 2
+        assert state.root_x[1] == -1

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.distributed.bsp import BSPCostModel, ClusterSpec, SuperstepLog
+from repro.errors import MachineConfigError
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        c = ClusterSpec(name="c", ranks=8)
+        assert c.ranks == 8
+
+    def test_invalid_ranks(self):
+        with pytest.raises(MachineConfigError):
+            ClusterSpec(name="c", ranks=0)
+
+    def test_negative_costs(self):
+        with pytest.raises(MachineConfigError):
+            ClusterSpec(name="c", ranks=2, alpha_us=-1)
+
+
+class TestSuperstepLog:
+    def test_record_and_totals(self):
+        log = SuperstepLog(ranks=2)
+        log.record("a", np.array([3.0, 5.0]), np.array([16.0, 0.0]))
+        log.record("a", np.array([1.0, 1.0]), np.array([0.0, 8.0]))
+        assert log.num_supersteps == 2
+        assert log.total_compute == 10.0
+        assert log.total_bytes == 24.0
+        assert log.by_label() == {"a": 2}
+
+    def test_step_maxima(self):
+        log = SuperstepLog(ranks=3)
+        log.record("x", np.array([1.0, 9.0, 2.0]), np.array([8.0, 4.0, 2.0]))
+        assert log.steps[0].max_compute == 9.0
+        assert log.steps[0].max_bytes == 8.0
+
+
+class TestCostModel:
+    def test_decompose_formula(self):
+        cluster = ClusterSpec(name="c", ranks=2, unit_cost_ns=2.0,
+                              alpha_us=1.0, beta_ns_per_byte=0.5)
+        log = SuperstepLog(ranks=2)
+        log.record("a", np.array([10.0, 4.0]), np.array([100.0, 40.0]))
+        total, comp, comm = BSPCostModel(cluster).decompose(log)
+        assert comp == pytest.approx(10 * 2.0 * 1e-9)
+        assert comm == pytest.approx((1000 + 100 * 0.5) * 1e-9)
+        assert total == pytest.approx(comp + comm)
+
+    def test_empty_log(self):
+        cluster = ClusterSpec(name="c", ranks=2)
+        assert BSPCostModel(cluster).seconds(SuperstepLog(ranks=2)) == 0.0

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.distributed.partition import Partition1D
+from repro.errors import ReproError
+from repro.graph.generators import random_bipartite
+
+
+@pytest.fixture
+def part():
+    return Partition1D(random_bipartite(17, 11, 50, seed=0), ranks=4)
+
+
+class TestBounds:
+    def test_blocks_cover_exactly(self, part):
+        assert part.x_bounds[0] == 0 and part.x_bounds[-1] == 17
+        assert part.y_bounds[-1] == 11
+        assert np.all(np.diff(part.x_bounds) >= 0)
+
+    def test_balanced_within_one(self, part):
+        sizes = np.diff(part.x_bounds)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ReproError):
+            Partition1D(random_bipartite(4, 4, 4, seed=0), ranks=0)
+
+
+class TestOwnership:
+    def test_owner_consistent_with_ranges(self, part):
+        for r in range(4):
+            lo, hi = part.x_range(r)
+            for x in range(lo, hi):
+                assert part.owner_x(x) == r
+            lo, hi = part.y_range(r)
+            for y in range(lo, hi):
+                assert part.owner_y(y) == r
+
+    def test_vectorized_owner(self, part):
+        xs = np.arange(17)
+        owners = part.owner_x(xs)
+        assert owners.shape == (17,)
+        assert owners.min() == 0 and owners.max() == 3
+
+    def test_local_vertex_lists(self, part):
+        all_x = np.concatenate([part.local_x(r) for r in range(4)])
+        assert np.array_equal(np.sort(all_x), np.arange(17))
+
+    def test_more_ranks_than_vertices(self):
+        part = Partition1D(random_bipartite(3, 3, 4, seed=1), ranks=8)
+        all_x = np.concatenate([part.local_x(r) for r in range(8)])
+        assert np.array_equal(np.sort(all_x), np.arange(3))
+
+
+class TestEdgeBalance:
+    def test_sums_to_nnz(self, part):
+        assert part.edge_balance().sum() == part.graph.nnz

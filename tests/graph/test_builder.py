@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graph.builder import (
+    from_biadjacency_lists,
+    from_dense,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestFromEdges:
+    def test_deduplicates(self):
+        g = from_edges(2, 2, [(0, 1), (0, 1), (1, 0)])
+        assert g.nnz == 2
+
+    def test_empty(self):
+        g = from_edges(4, 5, [])
+        assert g.nnz == 0 and g.n_x == 4 and g.n_y == 5
+
+    def test_numpy_input(self):
+        g = from_edges(3, 3, np.array([[0, 0], [1, 1], [2, 2]]))
+        assert g.nnz == 3
+
+    def test_out_of_range_x(self):
+        with pytest.raises(GraphError):
+            from_edges(2, 2, [(2, 0)])
+
+    def test_out_of_range_y(self):
+        with pytest.raises(GraphError):
+            from_edges(2, 2, [(0, -1)])
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphError):
+            from_edges(2, 2, np.zeros((3, 3)))
+
+    def test_both_directions_consistent(self):
+        g = from_edges(3, 3, [(0, 2), (1, 0), (2, 1), (0, 0)])
+        for x, y in g.edges():
+            assert x in g.neighbors_y(y)
+
+
+class TestFromBiadjacencyLists:
+    def test_basic(self):
+        g = from_biadjacency_lists([[0, 1], [1], []])
+        assert g.n_x == 3 and g.n_y == 2 and g.nnz == 3
+
+    def test_explicit_n_y(self):
+        g = from_biadjacency_lists([[0]], n_y=10)
+        assert g.n_y == 10
+
+    def test_empty(self):
+        g = from_biadjacency_lists([])
+        assert g.n_x == 0 and g.n_y == 0
+
+
+class TestScipyRoundtrip:
+    def test_roundtrip(self):
+        g = from_edges(3, 4, [(0, 1), (1, 2), (2, 3)])
+        mat = to_scipy_sparse(g)
+        assert mat.shape == (3, 4)
+        g2 = from_scipy_sparse(mat)
+        assert g == g2
+
+    def test_from_coo_with_duplicates(self):
+        import scipy.sparse as sp
+
+        mat = sp.coo_matrix(([1, 1], ([0, 0], [1, 1])), shape=(2, 2))
+        g = from_scipy_sparse(mat)
+        assert g.nnz == 1
+
+
+class TestFromDense:
+    def test_pattern(self):
+        g = from_dense(np.array([[1, 0], [0, 2]]))
+        assert sorted(g.edges()) == [(0, 0), (1, 1)]
+
+    def test_non_2d_raises(self):
+        with pytest.raises(GraphError):
+            from_dense(np.zeros(3))
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        g = from_edges(3, 3, [(0, 0), (1, 2), (2, 1)])
+        nxg = to_networkx(g)
+        assert nxg.number_of_edges() == 3
+        g2 = from_networkx(nxg)
+        assert g2.nnz == 3
+        assert g2.n_x == 3 and g2.n_y == 3
+
+    def test_requires_bipartite_attribute(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_explicit_sides(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        g = from_networkx(nxg, x_nodes=["a"])
+        assert g.n_x == 1 and g.n_y == 1 and g.nnz == 1
+
+    def test_edge_not_crossing_raises(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(["a", "b"], bipartite=0)
+        nxg.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            from_networkx(nxg)

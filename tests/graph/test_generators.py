@@ -1,0 +1,225 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    community_bipartite,
+    complete_bipartite,
+    crown_graph,
+    grid_bipartite,
+    planted_matching,
+    power_law_bipartite,
+    random_bipartite,
+    random_bipartite_gnp,
+    rmat_bipartite,
+    road_like,
+    surplus_core_bipartite,
+)
+
+
+class TestRandomBipartite:
+    def test_exact_edge_count(self):
+        g = random_bipartite(20, 30, 100, seed=0)
+        assert g.nnz == 100
+
+    def test_deterministic(self):
+        a = random_bipartite(10, 10, 30, seed=5)
+        b = random_bipartite(10, 10, 30, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = random_bipartite(10, 10, 30, seed=5)
+        b = random_bipartite(10, 10, 30, seed=6)
+        assert a != b
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_bipartite(2, 2, 5, seed=0)
+
+    def test_dense_request(self):
+        g = random_bipartite(4, 4, 16, seed=0)
+        assert g.nnz == 16
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_valid_for_any_size(self, n_x, n_y, data):
+        nnz = data.draw(st.integers(0, n_x * n_y))
+        g = random_bipartite(n_x, n_y, nnz, seed=1)
+        assert g.nnz == nnz
+        g._validate()
+
+
+class TestRandomGnp:
+    def test_p_zero(self):
+        assert random_bipartite_gnp(10, 10, 0.0, seed=0).nnz == 0
+
+    def test_p_one(self):
+        assert random_bipartite_gnp(5, 7, 1.0, seed=0).nnz == 35
+
+    def test_bad_p(self):
+        with pytest.raises(GraphError):
+            random_bipartite_gnp(5, 5, 1.5)
+
+
+class TestRmat:
+    def test_square_shape(self):
+        g = rmat_bipartite(scale=6, edge_factor=4, seed=1)
+        assert g.n_x == 64 and g.n_y == 64
+
+    def test_edge_budget_upper_bound(self):
+        g = rmat_bipartite(scale=6, edge_factor=4, seed=1)
+        assert 0 < g.nnz <= 4 * 64
+
+    def test_deterministic(self):
+        assert rmat_bipartite(5, 4, seed=2) == rmat_bipartite(5, 4, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat_bipartite(scale=9, edge_factor=8, seed=3)
+        deg = g.degree_x()
+        assert deg.max() > 4 * max(deg.mean(), 1)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_bipartite(4, 4, a=0.9, b=0.9, c=0.9)
+
+    def test_validates(self):
+        rmat_bipartite(scale=5, edge_factor=3, seed=0)._validate()
+
+
+class TestGrid:
+    def test_size(self):
+        g = grid_bipartite(4, 5)
+        assert g.n_x == 20 and g.n_y == 20
+
+    def test_diagonal_present(self):
+        g = grid_bipartite(3, 3)
+        assert all(g.has_edge(i, i) for i in range(9))
+
+    def test_five_point_interior_degree(self):
+        g = grid_bipartite(5, 5)
+        assert g.degree_x(12) == 5  # interior point: self + 4 neighbours
+
+    def test_nine_point_interior_degree(self):
+        g = grid_bipartite(5, 5, stencil=9)
+        assert g.degree_x(12) == 9
+
+    def test_bad_stencil(self):
+        with pytest.raises(GraphError):
+            grid_bipartite(3, 3, stencil=7)
+
+    def test_validates(self):
+        grid_bipartite(4, 6)._validate()
+
+
+class TestRoadLike:
+    def test_low_degree(self):
+        g = road_like(500, seed=0)
+        assert g.degree_x().mean() < 5
+
+    def test_chain_connectivity(self):
+        g = road_like(100, seed=1)
+        # Chain edges (i, i+1) are always present.
+        assert all(g.has_edge(i, i + 1) for i in range(99))
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            road_like(1)
+
+    def test_validates(self):
+        road_like(200, seed=2)._validate()
+
+
+class TestPowerLaw:
+    def test_shape(self):
+        g = power_law_bipartite(50, 30, avg_degree=4, seed=0)
+        assert g.n_x == 50 and g.n_y == 30
+
+    def test_isolated_fraction(self):
+        g = power_law_bipartite(200, 200, avg_degree=4, isolated_fraction=0.5, seed=1)
+        assert np.count_nonzero(g.degree_x() == 0) > 40
+
+    def test_column_skew_concentrates(self):
+        uniform = power_law_bipartite(400, 200, avg_degree=6, column_skew=1.0, seed=2)
+        skewed = power_law_bipartite(400, 200, avg_degree=6, column_skew=4.0, seed=2)
+        assert skewed.degree_y().max() > uniform.degree_y().max()
+
+    def test_bad_skew(self):
+        with pytest.raises(GraphError):
+            power_law_bipartite(10, 10, column_skew=0.5)
+
+    def test_validates(self):
+        power_law_bipartite(80, 60, seed=3)._validate()
+
+
+class TestCommunity:
+    def test_size(self):
+        g = community_bipartite(4, 25, seed=0)
+        assert g.n_x == 100 and g.n_y == 100
+
+    def test_intra_block_concentration(self):
+        g = community_bipartite(4, 50, intra_degree=8, inter_degree=0.5, seed=1)
+        xs, ys = g.edge_arrays()
+        same_block = np.count_nonzero((xs // 50) == (ys // 50))
+        assert same_block > 0.7 * g.nnz
+
+    def test_validates(self):
+        community_bipartite(3, 20, seed=2)._validate()
+
+
+class TestPlantedMatching:
+    def test_has_perfect_matching_edges(self):
+        g = planted_matching(30, seed=0, shuffle=False)
+        assert all(g.has_edge(i, i) for i in range(30))
+
+    def test_with_extras(self):
+        g = planted_matching(30, extra_edges=50, seed=1)
+        assert g.nnz >= 30
+
+    def test_validates(self):
+        planted_matching(25, extra_edges=10, seed=2)._validate()
+
+
+class TestSurplusCore:
+    def test_shape(self):
+        g = surplus_core_bipartite(40, 15, seed=0)
+        assert g.n_x == 55 and g.n_y == 40
+
+    def test_core_perfectly_matchable(self):
+        from repro.core.driver import ms_bfs_graft
+
+        g = surplus_core_bipartite(40, 15, seed=0)
+        assert ms_bfs_graft(g, emit_trace=False).cardinality == 40
+
+    def test_bad_sizes(self):
+        with pytest.raises(GraphError):
+            surplus_core_bipartite(0, 5)
+
+    def test_validates(self):
+        surplus_core_bipartite(30, 10, seed=1)._validate()
+
+
+class TestSmallFixedGraphs:
+    def test_chain(self):
+        g = chain_graph(4)
+        assert g.nnz == 7  # 4 + 3 edges
+
+    def test_chain_too_small(self):
+        with pytest.raises(GraphError):
+            chain_graph(0)
+
+    def test_complete(self):
+        g = complete_bipartite(3, 4)
+        assert g.nnz == 12
+        assert g.degree_x().tolist() == [4, 4, 4]
+
+    def test_crown(self):
+        g = crown_graph(4)
+        assert g.nnz == 12
+        assert not any(g.has_edge(i, i) for i in range(4))
+
+    def test_crown_too_small(self):
+        with pytest.raises(GraphError):
+            crown_graph(1)

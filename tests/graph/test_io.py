@@ -1,0 +1,112 @@
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edges
+from repro.graph.generators import random_bipartite
+from repro.graph.io import read_matrix_market, write_matrix_market
+
+
+def read_str(text: str):
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestRead:
+    def test_pattern_general(self):
+        g = read_str(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment\n"
+            "3 4 2\n"
+            "1 2\n"
+            "3 4\n"
+        )
+        assert g.n_x == 3 and g.n_y == 4
+        assert sorted(g.edges()) == [(0, 1), (2, 3)]
+
+    def test_real_values_ignored(self):
+        g = read_str(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 3.5\n"
+            "2 2 -1.0e3\n"
+        )
+        assert sorted(g.edges()) == [(0, 0), (1, 1)]
+
+    def test_symmetric_expansion(self):
+        g = read_str(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 3\n"
+        )
+        assert sorted(g.edges()) == [(0, 1), (1, 0), (2, 2)]
+
+    def test_symmetric_must_be_square(self):
+        with pytest.raises(GraphFormatError):
+            read_str(
+                "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "2 3 1\n1 1\n"
+            )
+
+    def test_blank_and_comment_lines_skipped(self):
+        g = read_str(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "%a\n\n%b\n"
+            "1 1 1\n"
+            "\n"
+            "1 1\n"
+        )
+        assert g.nnz == 1
+
+    def test_bad_header(self):
+        with pytest.raises(GraphFormatError):
+            read_str("not a matrix market file\n1 1 0\n")
+
+    def test_unsupported_format(self):
+        with pytest.raises(GraphFormatError):
+            read_str("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+
+    def test_missing_entries(self):
+        with pytest.raises(GraphFormatError):
+            read_str("%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n")
+
+    def test_too_many_entries(self):
+        with pytest.raises(GraphFormatError):
+            read_str(
+                "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n1 1\n"
+            )
+
+    def test_out_of_range_entry(self):
+        with pytest.raises(GraphFormatError):
+            read_str("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n")
+
+    def test_missing_size_line(self):
+        with pytest.raises(GraphFormatError):
+            read_str("%%MatrixMarket matrix coordinate pattern general\n% only comments\n")
+
+
+class TestWriteRoundtrip:
+    def test_roundtrip_small(self):
+        g = from_edges(3, 5, [(0, 4), (1, 0), (2, 2)])
+        buf = io.StringIO()
+        write_matrix_market(g, buf)
+        g2 = read_str(buf.getvalue())
+        assert g == g2
+
+    def test_roundtrip_random(self):
+        g = random_bipartite(20, 17, 80, seed=3)
+        buf = io.StringIO()
+        write_matrix_market(g, buf)
+        assert read_str(buf.getvalue()) == g
+
+    def test_roundtrip_via_file(self, tmp_path):
+        g = random_bipartite(10, 10, 25, seed=4)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+    def test_header_written(self):
+        buf = io.StringIO()
+        write_matrix_market(from_edges(1, 1, [(0, 0)]), buf)
+        assert buf.getvalue().startswith("%%MatrixMarket matrix coordinate pattern general")

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import random_bipartite
+from repro.graph.permute import permute, random_permutation
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        p = random_permutation(10, seed=0)
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_deterministic(self):
+        assert np.array_equal(random_permutation(8, seed=1), random_permutation(8, seed=1))
+
+
+class TestPermute:
+    def test_preserves_structure(self):
+        g = random_bipartite(15, 12, 50, seed=0)
+        new, xp, yp = permute(g, seed=1)
+        assert new.nnz == g.nnz
+        # Every original edge maps to a permuted edge.
+        for x, y in g.edges():
+            assert new.has_edge(int(xp[x]), int(yp[y]))
+
+    def test_identity_permutation(self):
+        g = random_bipartite(10, 10, 30, seed=2)
+        new, _, _ = permute(g, np.arange(10), np.arange(10))
+        assert new == g
+
+    def test_degree_multiset_preserved(self):
+        g = random_bipartite(20, 20, 80, seed=3)
+        new, _, _ = permute(g, seed=4)
+        assert sorted(g.degree_x().tolist()) == sorted(new.degree_x().tolist())
+        assert sorted(g.degree_y().tolist()) == sorted(new.degree_y().tolist())
+
+    def test_invalid_perm_shape(self):
+        g = random_bipartite(5, 5, 10, seed=0)
+        with pytest.raises(GraphError):
+            permute(g, np.arange(4), np.arange(5))
+
+    def test_non_permutation_rejected(self):
+        g = random_bipartite(5, 5, 10, seed=0)
+        with pytest.raises(GraphError):
+            permute(g, np.zeros(5, dtype=int), np.arange(5))
+
+    @given(st.integers(2, 15), st.integers(2, 15), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_matching_number_invariant(self, n_x, n_y, seed):
+        from repro.core.driver import ms_bfs_graft
+
+        g = random_bipartite(n_x, n_y, min(n_x * n_y, 3 * max(n_x, n_y)), seed=seed)
+        new, _, _ = permute(g, seed=seed + 1)
+        a = ms_bfs_graft(g, emit_trace=False).cardinality
+        b = ms_bfs_graft(new, emit_trace=False).cardinality
+        assert a == b

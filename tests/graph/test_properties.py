@@ -1,0 +1,33 @@
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_bipartite, rmat_bipartite
+from repro.graph.properties import analyze
+
+
+class TestAnalyze:
+    def test_complete_graph(self):
+        props = analyze(complete_bipartite(4, 5))
+        assert props.n_x == 4 and props.n_y == 5
+        assert props.nnz == 20
+        assert props.num_directed_edges == 40
+        assert props.avg_degree_x == 5
+        assert props.max_degree_y == 4
+        assert props.isolated_x == 0
+
+    def test_isolated_counting(self):
+        g = from_edges(3, 3, [(0, 0)])
+        props = analyze(g)
+        assert props.isolated_x == 2
+        assert props.isolated_y == 2
+
+    def test_empty_graph(self):
+        props = analyze(from_edges(0, 0, []))
+        assert props.num_vertices == 0
+        assert props.avg_degree_x == 0.0
+
+    def test_skew_indicator(self):
+        props = analyze(rmat_bipartite(scale=8, edge_factor=8, seed=0))
+        assert props.degree_skew_x > 2.0
+
+    def test_regular_graph_skew_one(self):
+        props = analyze(complete_bipartite(3, 3))
+        assert props.degree_skew_x == 1.0

@@ -1,0 +1,127 @@
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.readers import read_dimacs, read_snap_edgelist
+
+
+def snap(text: str):
+    return read_snap_edgelist(io.StringIO(text))
+
+
+def dimacs(text: str):
+    return read_dimacs(io.StringIO(text))
+
+
+class TestSnapReader:
+    def test_basic(self):
+        g = snap("# comment\n0 1\n0 2\n5 1\n")
+        assert g.n_x == 2  # ids {0, 5} compacted
+        assert g.n_y == 2  # ids {1, 2} compacted
+        assert g.nnz == 3
+
+    def test_sparse_ids_compacted(self):
+        g = snap("100 200\n300 200\n")
+        assert g.n_x == 2 and g.n_y == 1
+
+    def test_extra_columns_ignored(self):
+        g = snap("1 2 0.5 extra\n")
+        assert g.nnz == 1
+
+    def test_tabs_and_blank_lines(self):
+        g = snap("1\t2\n\n3\t4\n")
+        assert g.nnz == 2
+
+    def test_empty_file(self):
+        g = snap("# nothing\n")
+        assert g.n_x == 0 and g.n_y == 0
+
+    def test_duplicate_edges_merged(self):
+        g = snap("1 2\n1 2\n")
+        assert g.nnz == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError):
+            snap("1\n")
+
+    def test_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            snap("a b\n")
+
+    def test_negative_id(self):
+        with pytest.raises(GraphFormatError):
+            snap("-1 2\n")
+
+    def test_matchable(self):
+        from repro.core.driver import ms_bfs_graft
+
+        g = snap("0 0\n1 1\n2 2\n0 1\n")
+        assert ms_bfs_graft(g, emit_trace=False).cardinality == 3
+
+
+class TestDimacsReader:
+    def test_basic(self):
+        g = dimacs("c road graph\np sp 3 2\na 1 2\na 2 3\n")
+        assert g.n_x == 3 and g.n_y == 3
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_edge_format(self):
+        g = dimacs("p edge 2 1\ne 1 2\n")
+        assert g.nnz == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("a 1 2\n")
+
+    def test_count_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("p sp 3 5\na 1 2\n")
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("p sp 2 1\na 1 5\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("p sp 2 1\nz 1 2\n")
+
+    def test_no_edges(self):
+        g = dimacs("p sp 4 0\n")
+        assert g.n_x == 4 and g.nnz == 0
+
+
+class TestParserFuzzing:
+    """Arbitrary text must either parse or raise GraphFormatError — never
+    crash with an unrelated exception or hang."""
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_snap_never_crashes(self, text):
+        try:
+            graph = snap(text)
+            graph._validate()
+        except GraphFormatError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_dimacs_never_crashes(self, text):
+        try:
+            graph = dimacs(text)
+            graph._validate()
+        except GraphFormatError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_market_never_crashes(self, text):
+        from repro.graph.io import read_matrix_market
+
+        try:
+            graph = read_matrix_market(io.StringIO(text))
+            graph._validate()
+        except GraphFormatError:
+            pass

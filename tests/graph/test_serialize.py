@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import random_bipartite, rmat_bipartite
+from repro.graph.serialize import load_graph, load_matching, save_graph, save_matching
+from repro.matching.base import Matching
+from repro.matching.greedy import greedy_matching
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = rmat_bipartite(scale=7, edge_factor=4, seed=0)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+    def test_loaded_graph_validates(self, tmp_path):
+        g = random_bipartite(20, 15, 60, seed=1)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        load_graph(path)._validate()
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_matching(Matching.empty(3, 3), path)
+        with pytest.raises(GraphFormatError):
+            load_graph(path)
+
+    def test_rejects_arbitrary_npz(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_graph(path)
+
+
+class TestMatchingRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = random_bipartite(25, 25, 100, seed=2)
+        m = greedy_matching(g).matching
+        path = tmp_path / "m.npz"
+        save_matching(m, path)
+        assert load_matching(path) == m
+
+    def test_empty_matching(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_matching(Matching.empty(4, 7), path)
+        loaded = load_matching(path)
+        assert loaded.n_x == 4 and loaded.n_y == 7
+        assert loaded.cardinality == 0
+
+    def test_rejects_graph_file(self, tmp_path):
+        g = random_bipartite(5, 5, 10, seed=3)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        with pytest.raises(GraphFormatError):
+            load_matching(path)

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.instrument.counters import Counters
+from repro.instrument.frontier import FrontierLog
+from repro.instrument.rates import mteps, parallel_sensitivity
+
+
+class TestCounters:
+    def test_record_path(self):
+        c = Counters()
+        c.record_path(3)
+        c.record_path(5)
+        assert c.augmentations == 2
+        assert c.avg_augmenting_path_length == 4.0
+        assert c.max_augmenting_path_length == 5
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().record_path(4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().record_path(-1)
+
+    def test_avg_zero_when_empty(self):
+        assert Counters().avg_augmenting_path_length == 0.0
+
+    def test_merge(self):
+        a = Counters(edges_traversed=10, phases=2)
+        a.record_path(1)
+        b = Counters(edges_traversed=5, phases=1, grafts=3)
+        b.record_path(3)
+        a.merge(b)
+        assert a.edges_traversed == 15
+        assert a.phases == 3
+        assert a.grafts == 3
+        assert a.path_lengths == [1, 3]
+
+
+class TestFrontierLog:
+    def test_phases_and_levels(self):
+        log = FrontierLog()
+        log.start_phase()
+        log.record(10)
+        log.record(5)
+        log.start_phase()
+        log.record(7)
+        assert log.num_phases == 2
+        assert log.levels(0) == [10, 5]
+        assert log.height(0) == 2
+        assert log.total_vertices(1) == 7
+
+    def test_record_without_phase_starts_one(self):
+        log = FrontierLog()
+        log.record(3)
+        assert log.num_phases == 1
+
+    def test_levels_returns_copy(self):
+        log = FrontierLog()
+        log.record(1)
+        log.levels(0).append(99)
+        assert log.levels(0) == [1]
+
+
+class TestRates:
+    def test_mteps(self):
+        assert mteps(2_000_000, 2.0) == pytest.approx(1.0)
+
+    def test_mteps_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            mteps(100, 0.0)
+
+    def test_sensitivity_is_percentage(self):
+        assert parallel_sensitivity([1.0, 3.0]) == pytest.approx(50.0)

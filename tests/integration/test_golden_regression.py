@@ -1,0 +1,78 @@
+"""Golden-value regression tests.
+
+These pin the *exact* counter values of fully deterministic runs on fixed
+seeds. Unlike the property tests (which only check invariants), a change
+here signals that some algorithm's execution order or work accounting
+changed — which silently shifts every benchmark in the repo. If a change
+is intentional (e.g. a kernel optimisation that legitimately alters scan
+order), re-derive the constants and say so in the commit.
+"""
+
+import pytest
+
+import repro
+import repro.matching as matching_mod
+from repro.graph.generators import grid_bipartite, rmat_bipartite, surplus_core_bipartite
+from repro.matching.karp_sipser import karp_sipser
+from repro.matching.karp_sipser_parallel import karp_sipser_parallel
+
+
+@pytest.fixture(scope="module")
+def surplus_case():
+    graph = surplus_core_bipartite(300, 180, core_degree=4.0, seed=42)
+    init = karp_sipser_parallel(graph, seed=7, max_degree_one_rounds=2).matching
+    return graph, init
+
+
+class TestGraftGolden:
+    def test_surplus_python_engine(self, surplus_case):
+        graph, init = surplus_case
+        assert init.cardinality == 299
+        result = repro.ms_bfs_graft(graph, init, engine="python")
+        c = result.counters
+        assert (result.cardinality, c.edges_traversed, c.phases, c.grafts,
+                c.augmentations) == (300, 473, 2, 2, 1)
+
+    def test_surplus_numpy_engine(self, surplus_case):
+        graph, init = surplus_case
+        result = repro.ms_bfs_graft(graph, init, engine="numpy")
+        c = result.counters
+        assert (c.edges_traversed, c.phases, c.bfs_levels) == (645, 2, 3)
+
+    def test_rmat_serial_ks(self):
+        graph = rmat_bipartite(scale=9, edge_factor=6, seed=42)
+        init = karp_sipser(graph, seed=7).matching
+        assert init.cardinality == 253
+        result = repro.ms_bfs_graft(graph, init, engine="python")
+        c = result.counters
+        assert (result.cardinality, c.edges_traversed, c.phases) == (253, 1989, 1)
+
+    def test_grid_weak_init(self):
+        graph = grid_bipartite(18, 18)
+        init = karp_sipser_parallel(graph, seed=7, max_degree_one_rounds=1).matching
+        assert init.cardinality == 299
+        result = repro.ms_bfs_graft(graph, init, engine="python")
+        c = result.counters
+        assert (result.cardinality, c.edges_traversed, c.phases,
+                c.augmentations) == (324, 3051, 3, 25)
+
+
+class TestBaselineGolden:
+    def test_pothen_fan(self, surplus_case):
+        graph, init = surplus_case
+        result = matching_mod.pothen_fan(graph, init)
+        c = result.counters
+        assert (c.edges_traversed, c.phases, c.augmentations) == (5158, 2, 1)
+
+    def test_push_relabel(self, surplus_case):
+        graph, init = surplus_case
+        result = matching_mod.push_relabel(graph, init)
+        c = result.counters
+        assert (c.edges_traversed, c.phases) == (2114, 3)
+
+    def test_hopcroft_karp(self, surplus_case):
+        graph, init = surplus_case
+        result = matching_mod.hopcroft_karp(graph, init)
+        c = result.counters
+        assert (c.edges_traversed, c.phases) == (5085, 2)
+        assert c.avg_augmenting_path_length == pytest.approx(3.0)

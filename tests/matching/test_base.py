@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph.builder import from_edges
+from repro.matching.base import Matching, init_matching
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = Matching.empty(3, 4)
+        assert m.cardinality == 0
+        assert m.mate_x.tolist() == [-1, -1, -1]
+
+    def test_empty_from_graph(self):
+        g = from_edges(2, 3, [(0, 0)])
+        m = Matching.empty(g)
+        assert m.n_x == 2 and m.n_y == 3
+
+    def test_empty_needs_both_counts(self):
+        with pytest.raises(MatchingError):
+            Matching.empty(3)
+
+    def test_from_pairs(self):
+        m = Matching.from_pairs(3, 3, [(0, 1), (2, 0)])
+        assert m.cardinality == 2
+        assert m.mate_x[0] == 1 and m.mate_y[0] == 2
+
+    def test_from_pairs_conflict(self):
+        with pytest.raises(MatchingError):
+            Matching.from_pairs(3, 3, [(0, 1), (1, 1)])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MatchingError):
+            Matching(2, 2, np.array([-1]), np.array([-1, -1]))
+
+
+class TestMutation:
+    def test_match_and_unmatch(self):
+        m = Matching.empty(2, 2)
+        m.match(0, 1)
+        assert m.cardinality == 1
+        m.unmatch(0)
+        assert m.cardinality == 0
+        assert m.mate_y[1] == -1
+
+    def test_double_match_raises(self):
+        m = Matching.empty(2, 2)
+        m.match(0, 1)
+        with pytest.raises(MatchingError):
+            m.match(1, 1)
+
+    def test_unmatch_free_is_noop(self):
+        m = Matching.empty(2, 2)
+        m.unmatch(0)
+        assert m.cardinality == 0
+
+    def test_augment_pairs_overwrites(self):
+        m = Matching.from_pairs(2, 2, [(0, 0)])
+        # Augmenting path x1 - y0 - x0 - y1: flip to x1-y0, x0-y1.
+        m.augment_pairs([(1, 0), (0, 1)])
+        assert m.is_consistent()
+        assert m.cardinality == 2
+
+
+class TestQueries:
+    def test_matching_fraction(self):
+        m = Matching.from_pairs(4, 4, [(0, 0), (1, 1)])
+        assert m.matching_fraction() == pytest.approx(0.5)
+
+    def test_unmatched_sets(self):
+        m = Matching.from_pairs(3, 3, [(0, 2)])
+        assert m.unmatched_x().tolist() == [1, 2]
+        assert m.unmatched_y().tolist() == [0, 1]
+
+    def test_pairs_sorted(self):
+        m = Matching.from_pairs(3, 3, [(2, 0), (0, 2)])
+        assert m.pairs() == [(0, 2), (2, 0)]
+
+    def test_consistency_detects_corruption(self):
+        m = Matching.from_pairs(2, 2, [(0, 0)])
+        m.mate_y[0] = 1  # break the inverse relation
+        assert not m.is_consistent()
+
+    def test_consistency_detects_out_of_range(self):
+        m = Matching.empty(2, 2)
+        m.mate_x[0] = 7
+        assert not m.is_consistent()
+
+    def test_copy_is_independent(self):
+        m = Matching.from_pairs(2, 2, [(0, 0)])
+        c = m.copy()
+        c.unmatch(0)
+        assert m.cardinality == 1
+
+    def test_equality(self):
+        a = Matching.from_pairs(2, 2, [(0, 0)])
+        b = Matching.from_pairs(2, 2, [(0, 0)])
+        assert a == b
+        b.unmatch(0)
+        assert a != b
+
+
+class TestInitMatching:
+    def test_none_gives_empty(self):
+        g = from_edges(2, 2, [(0, 0)])
+        m = init_matching(g, None)
+        assert m.cardinality == 0
+
+    def test_copies_input(self):
+        g = from_edges(2, 2, [(0, 0)])
+        init = Matching.from_pairs(2, 2, [(0, 0)])
+        m = init_matching(g, init)
+        m.unmatch(0)
+        assert init.cardinality == 1
+
+    def test_size_mismatch_raises(self):
+        g = from_edges(2, 2, [(0, 0)])
+        with pytest.raises(MatchingError):
+            init_matching(g, Matching.empty(3, 3))

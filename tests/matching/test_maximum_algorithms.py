@@ -1,0 +1,85 @@
+"""Every maximum-matching algorithm, on every zoo graph, with several
+initialisers — all must produce a certified-maximum matching of the same
+cardinality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import EXPECTED_MAXIMUM, SMALL_GRAPHS, reference_maximum
+
+from repro.graph.generators import random_bipartite
+from repro.matching.greedy import greedy_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.karp_sipser import karp_sipser
+from repro.matching.ms_bfs import ms_bfs
+from repro.matching.pothen_fan import pothen_fan
+from repro.matching.push_relabel import push_relabel
+from repro.matching.ss_bfs import ss_bfs
+from repro.matching.ss_dfs import ss_dfs
+from repro.matching.verify import verify_maximum
+
+ALGORITHMS = {
+    "ss-bfs": ss_bfs,
+    "ss-dfs": ss_dfs,
+    "ms-bfs": lambda g, m=None: ms_bfs(g, m, emit_trace=False),
+    "hopcroft-karp": hopcroft_karp,
+    "pothen-fan": pothen_fan,
+    "pothen-fan-nolookahead": lambda g, m=None: pothen_fan(g, m, lookahead=False),
+    "pothen-fan-nofair": lambda g, m=None: pothen_fan(g, m, fairness=False),
+    "push-relabel": push_relabel,
+    "push-relabel-rf16": lambda g, m=None: push_relabel(g, m, relabel_frequency=16),
+}
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+class TestMaximumOnZoo:
+    def test_empty_init(self, algo, zoo_graph):
+        name, graph = zoo_graph
+        result = ALGORITHMS[algo](graph)
+        verify_maximum(graph, result.matching)
+        if name in EXPECTED_MAXIMUM:
+            assert result.cardinality == EXPECTED_MAXIMUM[name]
+
+    def test_karp_sipser_init(self, algo, zoo_graph):
+        name, graph = zoo_graph
+        init = karp_sipser(graph, seed=3).matching
+        result = ALGORITHMS[algo](graph, init)
+        verify_maximum(graph, result.matching)
+
+    def test_greedy_init(self, algo, zoo_graph):
+        name, graph = zoo_graph
+        init = greedy_matching(graph, shuffle=True, seed=1).matching
+        result = ALGORITHMS[algo](graph, init)
+        verify_maximum(graph, result.matching)
+
+    def test_does_not_mutate_initial(self, algo):
+        graph = SMALL_GRAPHS["planted-40"]
+        init = greedy_matching(graph).matching
+        before = init.copy()
+        ALGORITHMS[algo](graph, init)
+        assert init == before
+
+
+class TestAgreementWithNetworkx:
+    @pytest.mark.parametrize("name", sorted(SMALL_GRAPHS))
+    def test_zoo_agrees_with_networkx(self, name):
+        graph = SMALL_GRAPHS[name]
+        expected = reference_maximum(graph)
+        assert hopcroft_karp(graph).cardinality == expected
+
+    @given(
+        n_x=st.integers(1, 16),
+        n_y=st.integers(1, 16),
+        seed=st.integers(0, 1000),
+        density=st.floats(0.05, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_all_algorithms(self, n_x, n_y, seed, density):
+        nnz = max(1, int(density * n_x * n_y))
+        graph = random_bipartite(n_x, n_y, nnz, seed=seed)
+        expected = reference_maximum(graph)
+        for algo_name, algo in ALGORITHMS.items():
+            result = algo(graph)
+            assert result.cardinality == expected, algo_name
+            verify_maximum(graph, result.matching)

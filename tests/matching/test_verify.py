@@ -1,0 +1,113 @@
+import pytest
+
+from repro.errors import VerificationError
+from repro.graph.builder import from_edges
+from repro.graph.generators import chain_graph, complete_bipartite, random_bipartite
+from repro.matching.base import Matching
+from repro.matching.verify import (
+    assert_valid_matching,
+    is_maximal_matching,
+    is_maximum_matching,
+    is_valid_matching,
+    koenig_vertex_cover,
+    verify_maximum,
+)
+
+
+@pytest.fixture
+def path3():
+    # x0 - y0 - x1 - y1: a path with maximum matching 2.
+    return from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+
+
+class TestValidity:
+    def test_valid(self, path3):
+        assert is_valid_matching(path3, Matching.from_pairs(2, 2, [(0, 0), (1, 1)]))
+
+    def test_non_edge_invalid(self, path3):
+        assert not is_valid_matching(path3, Matching.from_pairs(2, 2, [(0, 1)]))
+
+    def test_size_mismatch_invalid(self, path3):
+        assert not is_valid_matching(path3, Matching.empty(3, 3))
+
+    def test_inconsistent_mates_invalid(self, path3):
+        m = Matching.from_pairs(2, 2, [(0, 0)])
+        m.mate_y[0] = 1
+        assert not is_valid_matching(path3, m)
+
+    def test_assert_raises(self, path3):
+        with pytest.raises(VerificationError):
+            assert_valid_matching(path3, Matching.from_pairs(2, 2, [(0, 1)]))
+
+
+class TestMaximality:
+    def test_empty_not_maximal(self, path3):
+        assert not is_maximal_matching(path3, Matching.empty(2, 2))
+
+    def test_greedy_mistake_is_maximal_not_maximum(self, path3):
+        m = Matching.from_pairs(2, 2, [(1, 0)])  # blocks both other edges
+        assert is_maximal_matching(path3, m)
+        assert not is_maximum_matching(path3, m)
+
+    def test_maximum_is_maximal(self, path3):
+        m = Matching.from_pairs(2, 2, [(0, 0), (1, 1)])
+        assert is_maximal_matching(path3, m)
+        assert is_maximum_matching(path3, m)
+
+
+class TestMaximum:
+    def test_chain_maximum(self):
+        g = chain_graph(3)
+        m = Matching.from_pairs(3, 3, [(0, 0), (1, 1), (2, 2)])
+        assert is_maximum_matching(g, m)
+
+    def test_chain_suboptimal_detected(self):
+        g = chain_graph(3)
+        # Match the "crossing" edges, leaving x0 and y2 free but connected
+        # by an augmenting path.
+        m = Matching.from_pairs(3, 3, [(1, 0), (2, 1)])
+        assert not is_maximum_matching(g, m)
+
+    def test_invalid_never_maximum(self, path3):
+        assert not is_maximum_matching(path3, Matching.from_pairs(2, 2, [(0, 1)]))
+
+
+class TestKoenig:
+    def test_cover_size_equals_cardinality(self):
+        g = random_bipartite(25, 20, 100, seed=0)
+        from repro.core.driver import ms_bfs_graft
+
+        result = ms_bfs_graft(g, emit_trace=False)
+        cx, cy = koenig_vertex_cover(g, result.matching)
+        assert cx.size + cy.size == result.cardinality
+
+    def test_rejects_non_maximum(self, path3):
+        with pytest.raises(VerificationError):
+            koenig_vertex_cover(path3, Matching.from_pairs(2, 2, [(1, 0)]))
+
+    def test_complete_graph_cover(self):
+        g = complete_bipartite(3, 5)
+        m = Matching.from_pairs(3, 5, [(0, 0), (1, 1), (2, 2)])
+        cx, cy = koenig_vertex_cover(g, m)
+        assert cx.size + cy.size == 3
+
+
+class TestVerifyMaximum:
+    def test_full_certificate(self):
+        g = random_bipartite(30, 30, 120, seed=1)
+        from repro.core.driver import ms_bfs_graft
+
+        result = ms_bfs_graft(g, emit_trace=False)
+        assert verify_maximum(g, result.matching) == result.cardinality
+
+    def test_rejects_suboptimal(self, path3):
+        with pytest.raises(VerificationError):
+            verify_maximum(path3, Matching.from_pairs(2, 2, [(1, 0)]))
+
+    def test_rejects_invalid(self, path3):
+        with pytest.raises(VerificationError):
+            verify_maximum(path3, Matching.from_pairs(2, 2, [(0, 1)]))
+
+    def test_empty_graph(self):
+        g = from_edges(2, 2, [])
+        assert verify_maximum(g, Matching.empty(2, 2)) == 0

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.parallel.atomics import AtomicArray, AtomicCounter
+from repro.parallel.queues import PrivateQueue, SharedQueue
+
+
+class TestAtomicArray:
+    def test_cas_success(self):
+        a = AtomicArray(np.zeros(3, dtype=np.int64))
+        assert a.compare_and_swap(1, 0, 7)
+        assert a.load(1) == 7
+        assert a.cas_attempts == 1
+        assert a.cas_failures == 0
+
+    def test_cas_failure(self):
+        a = AtomicArray(np.ones(2, dtype=np.int64))
+        assert not a.compare_and_swap(0, 0, 9)
+        assert a.load(0) == 1
+        assert a.cas_failures == 1
+
+    def test_fetch_and_or(self):
+        a = AtomicArray(np.array([0b0101], dtype=np.int64))
+        old = a.fetch_and_or(0, 0b0010)
+        assert old == 0b0101
+        assert a.load(0) == 0b0111
+
+    def test_fetch_and_add(self):
+        a = AtomicArray(np.array([10], dtype=np.int64))
+        assert a.fetch_and_add(0, 5) == 10
+        assert a.load(0) == 15
+
+    def test_store(self):
+        a = AtomicArray(np.zeros(1, dtype=np.int64))
+        a.store(0, 42)
+        assert a.load(0) == 42
+
+
+class TestAtomicCounter:
+    def test_fetch_and_add(self):
+        c = AtomicCounter()
+        assert c.fetch_and_add(3) == 0
+        assert c.fetch_and_add(2) == 3
+        assert c.value == 5
+        assert c.rmw_ops == 2
+
+
+class TestSharedQueue:
+    def test_reserve_slots(self):
+        q = SharedQueue(10)
+        assert q.reserve(3) == 0
+        assert q.reserve(2) == 3
+        assert len(q) == 5
+
+    def test_overflow(self):
+        q = SharedQueue(2)
+        q.reserve(2)
+        with pytest.raises(IndexError):
+            q.reserve(1)
+
+    def test_contents_snapshot(self):
+        q = SharedQueue(4)
+        start = q.reserve(2)
+        q.buffer[start : start + 2] = [7, 8]
+        assert q.contents().tolist() == [7, 8]
+
+
+class TestPrivateQueue:
+    def test_flush_on_capacity(self):
+        shared = SharedQueue(100)
+        pq = PrivateQueue(shared, capacity=3)
+        for i in range(3):
+            pq.push(i)
+        assert pq.flushes == 1
+        assert len(shared) == 3
+        assert pq.items == []
+
+    def test_manual_flush(self):
+        shared = SharedQueue(100)
+        pq = PrivateQueue(shared, capacity=100)
+        pq.push(5)
+        pq.flush()
+        assert shared.contents().tolist() == [5]
+
+    def test_flush_empty_noop(self):
+        shared = SharedQueue(10)
+        pq = PrivateQueue(shared, capacity=4)
+        pq.flush()
+        assert pq.flushes == 0
+
+    def test_one_atomic_per_flush(self):
+        shared = SharedQueue(1000)
+        pq = PrivateQueue(shared, capacity=10)
+        for i in range(95):
+            pq.push(i)
+        pq.flush()
+        # 9 capacity flushes + 1 manual = 10 reservations.
+        assert shared.tail.rmw_ops == 10
+        assert sorted(shared.contents().tolist()) == list(range(95))
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PrivateQueue(SharedQueue(4), capacity=0)

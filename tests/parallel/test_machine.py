@@ -1,0 +1,101 @@
+import math
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.parallel.machine import EDISON, LAPTOP, MIRASOL, MachineSpec
+
+
+class TestPresets:
+    def test_mirasol_topology(self):
+        assert MIRASOL.total_cores == 40
+        assert MIRASOL.max_threads == 80
+        assert MIRASOL.sockets == 4
+
+    def test_edison_topology(self):
+        assert EDISON.total_cores == 24
+        assert EDISON.max_threads == 48
+
+    def test_laptop(self):
+        assert LAPTOP.sockets == 1
+
+
+class TestValidation:
+    def test_bad_topology(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(name="x", sockets=0, cores_per_socket=4)
+
+    def test_bad_unit_cost(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(name="x", sockets=1, cores_per_socket=1, unit_cost_ns=0)
+
+    def test_bad_numa_factor(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(name="x", sockets=1, cores_per_socket=1, numa_remote_factor=0.5)
+
+    def test_thread_bounds(self):
+        with pytest.raises(MachineConfigError):
+            MIRASOL._check_threads(0)
+        with pytest.raises(MachineConfigError):
+            MIRASOL._check_threads(81)
+
+
+class TestSocketsUsed:
+    def test_single_socket(self):
+        assert MIRASOL.sockets_used(1) == 1
+        assert MIRASOL.sockets_used(10) == 1  # one socket's cores
+
+    def test_two_sockets(self):
+        assert MIRASOL.sockets_used(11) == 2
+        assert MIRASOL.sockets_used(20) == 2
+
+    def test_all_sockets(self):
+        assert MIRASOL.sockets_used(40) == 4
+        assert MIRASOL.sockets_used(80) == 4  # SMT reuses the same sockets
+
+
+class TestNumaFactor:
+    def test_one_socket_no_penalty(self):
+        assert MIRASOL.numa_factor(10) == 1.0
+
+    def test_grows_with_sockets(self):
+        assert MIRASOL.numa_factor(80) > MIRASOL.numa_factor(21) > 1.0
+
+    def test_bounded_by_remote_factor(self):
+        assert MIRASOL.numa_factor(80) < MIRASOL.numa_remote_factor
+
+
+class TestComputeCapacity:
+    def test_linear_up_to_cores(self):
+        assert MIRASOL.compute_capacity(1) == 1.0
+        # One thread per physical core first (the paper's 40-thread runs
+        # use all 40 cores without hyperthreading).
+        assert MIRASOL.compute_capacity(10) == pytest.approx(10.0)
+        assert MIRASOL.compute_capacity(40) == pytest.approx(40.0)
+
+    def test_smt_adds_fraction(self):
+        full = MIRASOL.compute_capacity(80)
+        assert full == pytest.approx(40 * (1 + MIRASOL.smt_gain))
+
+    def test_monotone(self):
+        caps = [MIRASOL.compute_capacity(p) for p in range(1, 81)]
+        assert all(b >= a for a, b in zip(caps, caps[1:]))
+
+
+class TestBandwidthAndBarrier:
+    def test_bandwidth_kicks_in(self):
+        assert MIRASOL.bandwidth_factor(2) == 1.0
+        assert MIRASOL.bandwidth_factor(20) > 1.0
+
+    def test_barrier_zero_for_one_thread(self):
+        assert MIRASOL.barrier_ns(1) == 0.0
+
+    def test_barrier_grows_log(self):
+        b2, b40 = MIRASOL.barrier_ns(2), MIRASOL.barrier_ns(40)
+        assert b40 > b2
+        assert b40 - b2 == pytest.approx(
+            MIRASOL.barrier_per_thread_ns * (math.log2(40) - 1)
+        )
+
+    def test_atomic_contention(self):
+        assert MIRASOL.atomic_ns(40) > MIRASOL.atomic_ns(1)

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerError
+from repro.parallel.scheduler import assign_contiguous, assign_lpt, static_chunks
+
+
+class TestStaticChunks:
+    def test_even_split(self):
+        assert static_chunks(10, 5).tolist() == [0, 2, 4, 6, 8, 10]
+
+    def test_uneven_split(self):
+        bounds = static_chunks(10, 3)
+        sizes = np.diff(bounds)
+        assert sizes.tolist() == [4, 3, 3]
+
+    def test_more_threads_than_items(self):
+        bounds = static_chunks(2, 5)
+        assert np.diff(bounds).tolist() == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert static_chunks(0, 3).tolist() == [0, 0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(SchedulerError):
+            static_chunks(5, 0)
+        with pytest.raises(SchedulerError):
+            static_chunks(-1, 2)
+
+
+class TestAssignContiguous:
+    def test_loads(self):
+        loads = assign_contiguous(np.array([1.0, 2, 3, 4]), 2)
+        assert loads.tolist() == [3.0, 7.0]
+
+    def test_conserves_work(self):
+        costs = np.arange(17, dtype=float)
+        assert assign_contiguous(costs, 5).sum() == pytest.approx(costs.sum())
+
+    def test_empty(self):
+        assert assign_contiguous(np.array([]), 4).tolist() == [0, 0, 0, 0]
+
+
+class TestAssignLpt:
+    def test_balances_better_than_contiguous_on_skew(self):
+        costs = np.array([100.0] + [1.0] * 99)
+        lpt = assign_lpt(costs, 4).max()
+        contiguous = assign_contiguous(costs, 4).max()
+        assert lpt <= contiguous
+
+    def test_single_thread(self):
+        costs = np.array([3.0, 4.0])
+        assert assign_lpt(costs, 1).tolist() == [7.0]
+
+    def test_empty(self):
+        assert assign_lpt(np.array([]), 3).tolist() == [0, 0, 0]
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(SchedulerError):
+            assign_lpt(np.array([1.0]), 0)
+
+    @given(
+        costs=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=60),
+        threads=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lpt_properties(self, costs, threads):
+        costs = np.asarray(costs)
+        loads = assign_lpt(costs, threads)
+        # Work conservation.
+        assert loads.sum() == pytest.approx(costs.sum())
+        # Makespan lower bounds.
+        assert loads.max() >= costs.max() - 1e-9
+        assert loads.max() >= costs.sum() / threads - 1e-9
+        # Graham's bound: LPT <= (4/3 - 1/3m) * OPT and OPT <= sum/m + max.
+        assert loads.max() <= 4 / 3 * (costs.sum() / threads + costs.max()) + 1e-6
+
+    @given(
+        costs=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=60),
+        threads=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_contiguous_conserves(self, costs, threads):
+        costs = np.asarray(costs)
+        loads = assign_contiguous(costs, threads)
+        assert loads.sum() == pytest.approx(costs.sum())

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.parallel.trace import ParallelRegion, WorkTrace
+
+
+class TestParallelRegion:
+    def test_totals(self):
+        r = ParallelRegion(kind="topdown", item_costs=np.array([1.0, 2, 3]))
+        assert r.total_work == 6
+        assert r.num_items == 3
+        assert r.max_item == 3
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRegion(kind="x", item_costs=np.array([-1.0]))
+
+    def test_uniform_region(self):
+        r = ParallelRegion(kind="stats", item_costs=np.empty(0), uniform_items=100,
+                           uniform_cost=0.5)
+        assert r.is_uniform
+        assert r.total_work == 50
+        assert r.max_item == 0.5
+        assert r.num_items == 100
+
+    def test_uniform_and_itemised_conflict(self):
+        with pytest.raises(ValueError):
+            ParallelRegion(kind="x", item_costs=np.array([1.0]), uniform_items=5)
+
+    def test_uniform_max_thread_load(self):
+        r = ParallelRegion(kind="s", item_costs=np.empty(0), uniform_items=10,
+                           uniform_cost=2.0)
+        assert r.max_thread_load(3) == 8.0  # ceil(10/3)=4 items x 2.0
+
+    def test_itemised_max_thread_load_raises(self):
+        r = ParallelRegion(kind="x", item_costs=np.array([1.0]))
+        with pytest.raises(ValueError):
+            r.max_thread_load(2)
+
+
+class TestWorkTrace:
+    def test_add_and_totals(self):
+        t = WorkTrace()
+        t.add("a", [1, 2])
+        t.add("b", [3], sequential=True)
+        assert t.total_work == 6
+        assert t.num_barriers == 2
+
+    def test_span(self):
+        t = WorkTrace()
+        t.add("a", [1, 5])
+        t.add("b", [2, 2], sequential=True)
+        # span = max item of parallel region + full work of sequential one.
+        assert t.span == 5 + 4
+
+    def test_by_kind(self):
+        t = WorkTrace()
+        t.add("a", [1])
+        t.add("a", [2])
+        t.add("b", [4])
+        assert t.by_kind() == {"a": 3.0, "b": 4.0}
+
+    def test_add_uniform(self):
+        t = WorkTrace()
+        region = t.add_uniform("stats", 50, 2.0)
+        assert region.is_uniform
+        assert t.total_work == 100
+
+    def test_metadata_defaults(self):
+        t = WorkTrace()
+        region = t.add("a", [1.0])
+        assert region.schedule == "static"
+        assert region.memory_pattern == "streaming"
+        assert region.atomics == 0

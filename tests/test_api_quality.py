@@ -1,0 +1,74 @@
+"""API quality guards: docstrings everywhere, exports resolvable, no
+accidental public surface drift."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.matching",
+    "repro.core",
+    "repro.parallel",
+    "repro.instrument",
+    "repro.apps",
+    "repro.distributed",
+    "repro.bench",
+    "repro.bench.experiments",
+]
+
+
+def all_modules():
+    out = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        out.append(package)
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_") and info.name != "_shared":
+                continue
+            out.append(importlib.import_module(f"{package_name}.{info.name}"))
+    return out
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", all_modules(), ids=lambda m: m.__name__)
+    def test_module_docstring(self, module):
+        assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+    @pytest.mark.parametrize("module", all_modules(), ids=lambda m: m.__name__)
+    def test_public_functions_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+                if not obj.__doc__:
+                    undocumented.append(name)
+            if inspect.isclass(obj) and obj.__module__ == module.__name__:
+                if not obj.__doc__:
+                    undocumented.append(name)
+        assert not undocumented, f"{module.__name__}: missing docstrings on {undocumented}"
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES[:-2] + ["repro.bench"])
+    def test_all_resolvable(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.__all__ lists missing {name}"
+
+    def test_top_level_api_stable(self):
+        required = {
+            "ms_bfs_graft", "ms_bfs", "karp_sipser", "karp_sipser_parallel",
+            "greedy_matching", "ss_bfs", "ss_dfs", "hopcroft_karp",
+            "pothen_fan", "push_relabel", "Matching", "MatchResult",
+            "is_maximum_matching", "verify_maximum", "CostModel",
+            "MachineSpec", "MIRASOL", "EDISON",
+        }
+        assert required <= set(repro.__all__)

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.graph == "rmat"
+        assert args.algorithm == "ms-bfs-graft"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--graph", "wikipedia-like", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "maximum, certified" in out
+        assert "phases" in out
+
+    def test_run_each_algorithm(self, capsys):
+        for algo in ("hopcroft-karp", "pothen-fan"):
+            assert main(["run", "--graph", "rmat", "--scale", "0.05",
+                         "--algorithm", algo]) == 0
+
+    def test_suite_command(self, capsys):
+        assert main(["suite", "--scale", "0.05"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Mirasol" in capsys.readouterr().out
+
+    def test_experiment_fig8(self, capsys):
+        assert main(["experiment", "fig8", "--scale", "0.08"]) == 0
+        assert "frontier" in capsys.readouterr().out.lower()
+
+    def test_match_command(self, tmp_path, capsys):
+        from repro.graph.generators import planted_matching
+        from repro.graph.io import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(planted_matching(15, extra_edges=20, seed=0), path)
+        assert main(["match", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "structural rank" in out
+        assert "15" in out
+
+
+class TestNewCommands:
+    def test_run_report(self, capsys):
+        assert main(["run", "--graph", "copapers-like", "--scale", "0.05", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "step breakdown" in out or "simulated" in out
+
+    def test_generate_npz_and_mtx(self, tmp_path, capsys):
+        npz = tmp_path / "g.npz"
+        mtx = tmp_path / "g.mtx"
+        assert main(["generate", "--graph", "rmat", "--scale", "0.05", "--out", str(npz)]) == 0
+        assert main(["generate", "--graph", "rmat", "--scale", "0.05", "--out", str(mtx)]) == 0
+        from repro.graph.io import read_matrix_market
+        from repro.graph.serialize import load_graph
+
+        assert load_graph(npz) == read_matrix_market(mtx)
+
+    def test_btf_command(self, tmp_path, capsys):
+        from repro.graph.generators import planted_matching
+        from repro.graph.io import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(planted_matching(12, extra_edges=20, seed=0), path)
+        assert main(["btf", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "structural rank" in out
+        assert "diagonal blocks" in out
+
+    def test_distributed_command(self, capsys):
+        assert main(["distributed", "--graph", "wikipedia-like", "--scale", "0.05",
+                     "--ranks", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ranks=   1" in out and "ranks=   4" in out
+
+    def test_report_all(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["report-all", "--scale", "0.05", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "fig3" in text and "Table II" in text and "phase-dynamics" in text
+
+    def test_distributed_2d(self, capsys):
+        assert main(["distributed", "--graph", "copapers-like", "--scale", "0.05",
+                     "--ranks", "1", "4", "--decomposition", "2d"]) == 0
+        out = capsys.readouterr().out
+        assert "2D decomposition" in out
+
+    def test_match_snap_format(self, tmp_path, capsys):
+        path = tmp_path / "g.snap"
+        path.write_text("# c\n0 0\n1 1\n")
+        assert main(["match", str(path), "--format", "snap"]) == 0
+        assert "structural rank" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(0, 1 << 30) == as_rng(42).integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = as_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+    def test_component_changes_seed(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+
+    def test_in_63_bit_range(self):
+        s = derive_seed(123, 456)
+        assert 0 <= s < 2**63

@@ -1,0 +1,66 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import coefficient_of_variation, geometric_mean, mean, stddev
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_constant_sequence_is_zero(self):
+        assert stddev([4, 4, 4]) == 0.0
+
+    def test_population_definition(self):
+        # Population stddev of [1, 3] is 1 (not sample stddev sqrt(2)).
+        assert stddev([1, 3]) == pytest.approx(1.0)
+
+
+class TestCoefficientOfVariation:
+    def test_paper_definition(self):
+        # psi = 100 * sigma / mu.
+        assert coefficient_of_variation([1, 3]) == pytest.approx(50.0)
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1, 1])
+
+    def test_no_variation(self):
+        assert coefficient_of_variation([2, 2, 2]) == 0.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    def test_at_most_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= mean(values) + 1e-9

@@ -1,0 +1,82 @@
+import time
+
+import pytest
+
+from repro.util.timer import StepTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        assert t.stop() >= 0.009
+
+    def test_accumulates(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        first = t.elapsed
+        t.start()
+        time.sleep(0.005)
+        t.stop()
+        assert t.elapsed > first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.002)
+        assert t.elapsed > 0
+
+    def test_reset(self):
+        t = Timer().start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestStepTimer:
+    def test_step_records(self):
+        t = StepTimer()
+        with t.step("a"):
+            time.sleep(0.002)
+        assert t.totals["a"] > 0
+
+    def test_steps_accumulate(self):
+        t = StepTimer()
+        for _ in range(3):
+            with t.step("a"):
+                pass
+        assert len(t.totals) == 1
+
+    def test_add_manual(self):
+        t = StepTimer()
+        t.add("x", 1.5)
+        t.add("x", 0.5)
+        assert t.totals["x"] == 2.0
+
+    def test_total(self):
+        t = StepTimer()
+        t.add("a", 1.0)
+        t.add("b", 3.0)
+        assert t.total == 4.0
+
+    def test_fractions(self):
+        t = StepTimer()
+        t.add("a", 1.0)
+        t.add("b", 3.0)
+        fr = t.fractions()
+        assert fr["a"] == pytest.approx(0.25)
+        assert fr["b"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert StepTimer().fractions() == {}
+
+    def test_exception_still_times(self):
+        t = StepTimer()
+        with pytest.raises(ValueError):
+            with t.step("a"):
+                raise ValueError
+        assert "a" in t.totals
