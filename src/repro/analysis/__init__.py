@@ -1,0 +1,30 @@
+"""Correctness tooling for the parallel matching engine.
+
+Three layers, each an executable form of an argument the paper makes in
+prose (Section III-B):
+
+* :mod:`repro.analysis.racecheck` — a dynamic race detector over the
+  interleaved simulator's shared-access log: derives happens-before from
+  barriers and atomic operations, reports data races, and classifies them
+  *benign* (the whitelisted ``leaf`` last-writer-wins race) or *harmful*;
+* :mod:`repro.analysis.invariants` — post-barrier/post-phase checks that
+  the matching is mutually consistent, BFS trees are vertex-disjoint, and
+  augmenting paths alternate;
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules (shared-array
+  mutation discipline, no global RNG state, no wall-clock in cost models)
+  behind the ``repro-match lint`` subcommand.
+"""
+
+from repro.analysis.invariants import InvariantChecker, check_all_invariants
+from repro.analysis.lint import LintViolation, run_lint
+from repro.analysis.racecheck import RaceMonitor, RaceReport, run_racecheck
+
+__all__ = [
+    "InvariantChecker",
+    "check_all_invariants",
+    "LintViolation",
+    "run_lint",
+    "RaceMonitor",
+    "RaceReport",
+    "run_racecheck",
+]

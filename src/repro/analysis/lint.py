@@ -1,0 +1,302 @@
+"""Repo-specific AST lint rules for the matching engine.
+
+Generic linters (ruff) cover style and obvious bugs; these rules encode
+*project* contracts that no generic tool knows about:
+
+* **REP001 shared-array-mutation** — inside item programs (generator
+  functions that run on the interleaved simulator, i.e. any function
+  containing ``yield`` under ``core/`` or ``parallel/``), shared numpy
+  state may only be mutated through ``AtomicArray`` / ``SharedArray``
+  operations (``.store``, ``.compare_and_swap``, ``.fetch_and_*``) —
+  never by raw subscript assignment. Raw writes are invisible to the
+  dynamic race detector and bypass the simulated memory model.
+* **REP002 global-rng** — no global random state anywhere outside
+  :mod:`repro.util.rng`: the legacy ``np.random.*`` API (``seed``,
+  ``rand``, ``shuffle``, ...) and the stdlib ``random`` module are both
+  banned; reproducibility requires every stream to flow through
+  ``as_rng``/``spawn_rngs``.
+* **REP003 wallclock-cost-model** — cost-model code (the work-span model,
+  machine specs, BSP model) must derive simulated time from the model,
+  never from the host clock (``time.time``, ``perf_counter``, ...).
+
+A violation can be locally suppressed with a ``# lint: allow-<rule-name>``
+comment on the offending line (use sparingly, with justification).
+
+Run via ``repro-match lint`` (nonzero exit on violations) or
+:func:`run_lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+"""The ``src/repro`` package directory — what ``repro-match lint`` scans."""
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+CheckFn = Callable[[ast.Module], Iterator[Tuple[ast.AST, str]]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    code: str
+    name: str
+    description: str
+    scope: Tuple[str, ...]
+    """fnmatch patterns over the package-relative posix path; () = all files."""
+    exclude: Tuple[str, ...]
+    check: CheckFn
+
+    def applies_to(self, relpath: str) -> bool:
+        if any(fnmatch(relpath, pat) for pat in self.exclude):
+            return False
+        return not self.scope or any(fnmatch(relpath, pat) for pat in self.scope)
+
+
+# --------------------------------------------------------------------------- #
+# REP001: shared arrays are mutated only through AtomicArray/SharedArray ops
+# --------------------------------------------------------------------------- #
+
+
+def _own_body_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested functions."""
+    stack = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in _own_body_nodes(func)
+    )
+
+
+def _check_shared_mutation(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_generator(func):
+            continue
+        for node in _own_body_nodes(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    yield target, (
+                        f"item program {func.name!r} mutates a shared array by "
+                        f"raw subscript assignment; use AtomicArray/SharedArray "
+                        f"ops (.store/.compare_and_swap/.fetch_and_*) so the "
+                        f"access is visible to the race detector"
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# REP002: no global RNG state outside repro.util.rng
+# --------------------------------------------------------------------------- #
+
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        return []
+    return parts[::-1]
+
+
+def _check_global_rng(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield node, (
+                        "stdlib 'random' uses hidden global state; seed flow "
+                        "must go through repro.util.rng"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield node, (
+                    "stdlib 'random' uses hidden global state; seed flow "
+                    "must go through repro.util.rng"
+                )
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (
+                len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] not in _NP_RANDOM_ALLOWED
+            ):
+                yield node, (
+                    f"np.random.{chain[2]}() mutates numpy's global RNG state; "
+                    f"use repro.util.rng.as_rng/spawn_rngs instead"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# REP003: no wall clock in cost-model code
+# --------------------------------------------------------------------------- #
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("time", "clock"),
+}
+
+
+def _check_wallclock(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    from_time: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                from_time.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        bad = (
+            (len(chain) == 2 and tuple(chain) in _WALLCLOCK_CALLS)
+            or (len(chain) == 3 and chain[0] == "datetime" and chain[2] in ("now", "utcnow"))
+            or (len(chain) == 1 and chain[0] in from_time)
+        )
+        if bad:
+            yield node, (
+                f"{'.'.join(chain)}() reads the host clock; simulated cost "
+                f"must be derived from the machine/cost model, never wall time"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# registry + runner
+# --------------------------------------------------------------------------- #
+
+RULES: Tuple[LintRule, ...] = (
+    LintRule(
+        code="REP001",
+        name="shared-array-mutation",
+        description="item programs mutate shared arrays only via AtomicArray/SharedArray ops",
+        scope=("core/*.py", "parallel/*.py"),
+        exclude=(),
+        check=_check_shared_mutation,
+    ),
+    LintRule(
+        code="REP002",
+        name="global-rng",
+        description="no global random state outside repro.util.rng",
+        scope=(),
+        exclude=("util/rng.py",),
+        check=_check_global_rng,
+    ),
+    LintRule(
+        code="REP003",
+        name="wallclock-cost-model",
+        description="cost-model code never reads the host clock",
+        scope=(
+            "parallel/cost_model.py",
+            "parallel/machine.py",
+            "distributed/bsp.py",
+        ),
+        exclude=(),
+        check=_check_wallclock,
+    ),
+)
+
+
+def _suppressed(source_lines: Sequence[str], line: int, rule: LintRule) -> bool:
+    if 1 <= line <= len(source_lines):
+        return f"lint: allow-{rule.name}" in source_lines[line - 1]
+    return False
+
+
+def lint_file(path: Path, relpath: str) -> List[LintViolation]:
+    """Lint one file; ``relpath`` decides which rules apply."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="REP000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    violations: List[LintViolation] = []
+    for rule in RULES:
+        if not rule.applies_to(relpath):
+            continue
+        for node, message in rule.check(tree):
+            line = getattr(node, "lineno", 1)
+            if _suppressed(lines, line, rule):
+                continue
+            violations.append(
+                LintViolation(
+                    path=str(path),
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    rule=f"{rule.code} ({rule.name})",
+                    message=message,
+                )
+            )
+    return violations
+
+
+def run_lint(root: Path | str = DEFAULT_ROOT) -> List[LintViolation]:
+    """Lint every ``*.py`` under ``root`` (a package-shaped directory).
+
+    Rule scopes match against paths relative to ``root``, so a fixture
+    tree mimicking the package layout (``<root>/core/foo.py``) exercises
+    the same scoping as the real ``src/repro``.
+    """
+    root = Path(root)
+    if root.is_file():
+        return lint_file(root, root.name)
+    violations: List[LintViolation] = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        violations.extend(lint_file(path, relpath))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))

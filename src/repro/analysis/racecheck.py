@@ -1,0 +1,335 @@
+"""Dynamic data-race detection for the interleaved MS-BFS-Graft engine.
+
+The engine's item programs route every shared access through
+:class:`~repro.parallel.shared.SharedArray` /
+:class:`~repro.parallel.atomics.AtomicArray`, which report to an attached
+:class:`RaceMonitor`. The monitor stamps each access with its simulated
+thread, global step, and barrier region, producing a complete shared-memory
+access log of one run.
+
+**Happens-before model.** Three orderings, matching the OpenMP program the
+paper describes:
+
+1. *program order* — accesses of one thread are ordered by step;
+2. *barrier edges* — every ``parallel for`` region is barrier-delimited,
+   so accesses in different regions are totally ordered (serial code
+   between regions is ordered with both sides for free);
+3. *atomic synchronisation* — CAS / fetch-and-or / fetch-and-add and
+   atomic loads synchronise; two accesses that are **both** atomic never
+   form a data race (C11 semantics for atomic objects).
+
+Hence two accesses are a **data race** iff they fall in the *same* region,
+come from *different* threads, touch the same ``(array, index)`` location,
+at least one is a write, and they are not both atomic. (Step order within a
+region is irrelevant: the scheduler could legally reorder them.)
+
+**Benign classification.** The paper argues one deliberate race is safe:
+concurrent ``leaf[root]`` updates are last-writer-wins, and whichever write
+survives, the tree holds exactly one valid augmenting path. The default
+whitelist encodes that claim, plus the bottom-up kernel's racy read of
+``root_x`` (a stale read only delays a vertex's adoption by one level).
+Everything else — in particular any plain access to ``visited``, which the
+:data:`~repro.core.engine_interleaved.NON_ATOMIC_VISITED` fault injection
+produces — is reported **harmful**.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.invariants import InvariantChecker
+from repro.core.options import GraftOptions
+from repro.errors import ReproError
+from repro.graph.csr import BipartiteCSR
+from repro.matching.base import MatchResult, Matching
+from repro.parallel.shared import WRITE
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One shared-array access, stamped by the monitor."""
+
+    region: int
+    step: int
+    thread: int
+    array: str
+    index: int
+    kind: str  # repro.parallel.shared.READ or WRITE
+    atomic: bool
+
+
+@dataclass(frozen=True)
+class BenignRule:
+    """Whitelist entry: races on ``array`` are benign, with a reason.
+
+    ``allow_write_write=False`` restricts the rule to read-write races —
+    e.g. concurrent *writes* to ``root_x`` would still be harmful, only
+    stale reads are excused.
+    """
+
+    array: str
+    allow_write_write: bool
+    reason: str
+
+
+DEFAULT_WHITELIST: Tuple[BenignRule, ...] = (
+    BenignRule(
+        "leaf",
+        allow_write_write=True,
+        reason=(
+            "paper §III-B benign race: concurrent leaf[root] updates are "
+            "last-writer-wins; the tree keeps exactly one augmenting path"
+        ),
+    ),
+    BenignRule(
+        "root_x",
+        allow_write_write=False,
+        reason=(
+            "bottom-up/graft scan may read a stale tree-membership pointer; "
+            "the vertex simply joins a tree one level later"
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Race:
+    """A data race at one ``(region, array, index)`` location."""
+
+    array: str
+    index: int
+    region: int
+    threads: Tuple[int, ...]
+    write_write: bool
+    benign: bool
+    reason: str
+
+    def render(self) -> str:
+        kind = "write-write" if self.write_write else "read-write"
+        tag = "benign " if self.benign else "HARMFUL"
+        return (
+            f"[{tag}] {kind} race on {self.array}[{self.index}] in region "
+            f"{self.region} between threads {list(self.threads)}: {self.reason}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Classified result of analysing one run's access log."""
+
+    races: List[Race]
+    events: int
+    regions: int
+    error: Optional[str] = None
+    """Set when the run aborted (e.g. an InvariantViolation from injected
+    faults); the races collected up to the abort are still reported."""
+
+    @property
+    def benign(self) -> List[Race]:
+        return [r for r in self.races if r.benign]
+
+    @property
+    def harmful(self) -> List[Race]:
+        return [r for r in self.races if not r.benign]
+
+    def summary(self) -> str:
+        lines = [
+            f"access events : {self.events}",
+            f"regions       : {self.regions}",
+            f"races         : {len(self.races)} "
+            f"({len(self.benign)} benign, {len(self.harmful)} harmful)",
+        ]
+        if self.error:
+            lines.append(f"run aborted   : {self.error}")
+        for race in self.races:
+            lines.append("  " + race.render())
+        return "\n".join(lines)
+
+
+def _classify(
+    array: str, write_write: bool, whitelist: Iterable[BenignRule]
+) -> Tuple[bool, str]:
+    for rule in whitelist:
+        if rule.array == array and (rule.allow_write_write or not write_write):
+            return True, rule.reason
+    return False, (
+        "unsynchronised conflicting access outside the benign-race whitelist"
+    )
+
+
+def find_races(
+    events: Iterable[AccessEvent],
+    whitelist: Iterable[BenignRule] = DEFAULT_WHITELIST,
+) -> List[Race]:
+    """Group the access log by location and extract data races.
+
+    Within one region, a location races iff two different threads make
+    conflicting (at least one write, not both atomic) accesses to it.
+    """
+    by_loc: Dict[Tuple[int, str, int], List[AccessEvent]] = defaultdict(list)
+    for ev in events:
+        by_loc[(ev.region, ev.array, ev.index)].append(ev)
+
+    races: List[Race] = []
+    for (region, array, index), evs in sorted(by_loc.items()):
+        plain_writers: Set[int] = set()
+        atomic_writers: Set[int] = set()
+        plain_readers: Set[int] = set()
+        atomic_readers: Set[int] = set()
+        for ev in evs:
+            if ev.kind == WRITE:
+                (atomic_writers if ev.atomic else plain_writers).add(ev.thread)
+            else:
+                (atomic_readers if ev.atomic else plain_readers).add(ev.thread)
+
+        write_write = len(plain_writers) >= 2 or (
+            len(plain_writers) == 1 and bool(atomic_writers - plain_writers)
+        )
+        read_write = any(
+            (plain_readers | atomic_readers) - {w} for w in plain_writers
+        ) or any(plain_readers - {w} for w in atomic_writers)
+        if not (write_write or read_write):
+            continue
+
+        threads = sorted(plain_writers | atomic_writers | plain_readers | atomic_readers)
+        benign, reason = _classify(array, write_write, whitelist)
+        races.append(
+            Race(
+                array=array,
+                index=index,
+                region=region,
+                threads=tuple(threads),
+                write_write=write_write,
+                benign=benign,
+                reason=reason,
+            )
+        )
+    return races
+
+
+class RaceMonitor:
+    """Access observer + region hooks; plug into ``run_interleaved(monitor=...)``.
+
+    Records every in-region shared access (serial code between barriers is
+    ordered by the barrier edges and cannot race, so it is skipped) and,
+    when ``check_invariants`` is on, re-verifies the engine invariants
+    after every barrier and phase.
+    """
+
+    def __init__(
+        self,
+        *,
+        check_invariants: bool = True,
+        whitelist: Iterable[BenignRule] = DEFAULT_WHITELIST,
+    ) -> None:
+        self.events: List[AccessEvent] = []
+        self.whitelist = tuple(whitelist)
+        self._check_invariants = check_invariants
+        self._sim = None
+        self.invariant_checker: Optional[InvariantChecker] = None
+        self.barriers = 0
+
+    # -- engine-facing hooks (RegionMonitor protocol) -------------------- #
+
+    def bind(self, *, sim, graph, state, matching) -> None:
+        self._sim = sim
+        if self._check_invariants:
+            self.invariant_checker = InvariantChecker(graph, state, matching)
+
+    def record(self, array: str, index: int, kind: str, atomic: bool) -> None:
+        sim = self._sim
+        if sim is None or sim.current_thread is None:
+            return  # serial access between regions: ordered by barriers
+        self.events.append(
+            AccessEvent(
+                region=sim.regions_run,
+                step=sim.total_steps,
+                thread=sim.current_thread,
+                array=array,
+                index=int(index),
+                kind=kind,
+                atomic=atomic,
+            )
+        )
+
+    def after_barrier(self) -> None:
+        self.barriers += 1
+        if self.invariant_checker is not None:
+            self.invariant_checker.check()
+
+    def after_phase(self) -> None:
+        if self.invariant_checker is not None:
+            self.invariant_checker.check()
+
+    # -- analysis -------------------------------------------------------- #
+
+    def analyze(self) -> RaceReport:
+        races = find_races(self.events, self.whitelist)
+        regions = len({ev.region for ev in self.events})
+        return RaceReport(races=races, events=len(self.events), regions=regions)
+
+
+@dataclass
+class RaceCheckOutcome:
+    """Everything one monitored run produced."""
+
+    report: RaceReport
+    result: Optional[MatchResult]
+    invariant_checks: int = 0
+    cas_failures: int = 0
+    seed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run completed with no harmful races."""
+        return self.report.error is None and not self.report.harmful
+
+
+def run_racecheck(
+    graph: BipartiteCSR,
+    initial: Optional[Matching] = None,
+    *,
+    threads: int = 4,
+    seed: SeedLike = 0,
+    options: Optional[GraftOptions] = None,
+    fault_injection: Iterable[str] = (),
+    check_invariants: bool = True,
+    whitelist: Iterable[BenignRule] = DEFAULT_WHITELIST,
+) -> RaceCheckOutcome:
+    """Run MS-BFS-Graft on the interleaved engine under the race detector.
+
+    Fault-injected runs may corrupt shared state; the invariant checker
+    (or the engine's own safety bounds) then aborts the run, which is
+    recorded in ``report.error`` — the races observed up to the abort are
+    still analysed and classified.
+    """
+    from repro.core.engine_interleaved import run_interleaved
+
+    monitor = RaceMonitor(check_invariants=check_invariants, whitelist=whitelist)
+    result: Optional[MatchResult] = None
+    error: Optional[str] = None
+    try:
+        result = run_interleaved(
+            graph,
+            initial,
+            options or GraftOptions(),
+            threads=threads,
+            seed=seed,
+            monitor=monitor,
+            fault_injection=fault_injection,
+            max_phases=4 * (graph.n_x + graph.n_y) + 8,
+        )
+    except ReproError as exc:  # includes InvariantViolation
+        error = f"{type(exc).__name__}: {exc}"
+    report = monitor.analyze()
+    report.error = error
+    checker = monitor.invariant_checker
+    return RaceCheckOutcome(
+        report=report,
+        result=result,
+        invariant_checks=checker.checks_run if checker is not None else 0,
+        seed=int(seed) if isinstance(seed, int) else 0,
+    )

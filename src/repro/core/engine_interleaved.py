@@ -8,6 +8,14 @@ reach different (all correct) executions; the race-semantics tests sweep
 seeds and assert that the final matching is always maximum and the forest
 invariants always hold.
 
+Item programs touch shared state *only* through
+:class:`~repro.parallel.atomics.AtomicArray` and
+:class:`~repro.parallel.shared.SharedArray` wrappers (lint rule REP001
+enforces this), so an attached
+:class:`~repro.parallel.shared.RegionMonitor` — e.g. the dynamic race
+detector in :mod:`repro.analysis.racecheck` — observes every shared
+access with thread/step/region attribution.
+
 This engine exists to *validate concurrency semantics*, not for speed: it
 steps a generator per traversed edge, so keep graphs small (tests use a few
 hundred vertices).
@@ -16,19 +24,28 @@ hundred vertices).
 from __future__ import annotations
 
 import time
-from typing import Generator, List
+from typing import Generator, Iterable, List, Optional
 
 import numpy as np
 
 from repro.core.forest import ForestState
 from repro.core.options import GraftOptions
+from repro.errors import InvariantViolation, ReproError
 from repro.graph.csr import BipartiteCSR
 from repro.instrument.counters import Counters
 from repro.matching._common import adjacency_lists
 from repro.matching.base import UNMATCHED, MatchResult, Matching, init_matching
 from repro.parallel.atomics import AtomicArray
+from repro.parallel.shared import RegionMonitor, SharedArray
 from repro.parallel.simulator import InterleavedSimulator, SimThreadState
 from repro.util.rng import SeedLike
+
+NON_ATOMIC_VISITED = "non-atomic-visited"
+"""Fault-injection switch: replace the CAS ``visited`` claim with a plain
+check-then-act store, re-creating exactly the synchronisation bug the
+paper's atomic claim prevents (trees stop being vertex-disjoint)."""
+
+KNOWN_FAULTS = frozenset({NON_ATOMIC_VISITED})
 
 
 def run_interleaved(
@@ -38,22 +55,49 @@ def run_interleaved(
     *,
     threads: int = 4,
     seed: SeedLike = 0,
+    monitor: Optional[RegionMonitor] = None,
+    fault_injection: Iterable[str] = (),
+    max_phases: Optional[int] = None,
 ) -> MatchResult:
-    """MS-BFS-Graft under simulated concurrent execution."""
+    """MS-BFS-Graft under simulated concurrent execution.
+
+    ``monitor`` (optional) observes every shared access and is notified
+    after each barrier and phase; ``fault_injection`` enables named
+    synchronisation faults (see :data:`KNOWN_FAULTS`); ``max_phases``
+    bounds the phase loop so fault-corrupted runs terminate with
+    :class:`~repro.errors.ReproError` instead of spinning.
+    """
+    faults = frozenset(fault_injection)
+    unknown = faults - KNOWN_FAULTS
+    if unknown:
+        raise ReproError(
+            f"unknown fault injection(s) {sorted(unknown)}; known: {sorted(KNOWN_FAULTS)}"
+        )
     start = time.perf_counter()
     matching = init_matching(graph, initial)
     counters = Counters()
     state = ForestState.for_graph(graph)
-    visited = AtomicArray(state.visited)
     x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
     mate_x = matching.mate_x
     mate_y = matching.mate_y
     parent, root_x, root_y, leaf = state.parent, state.root_x, state.root_y, state.leaf
-    sim = InterleavedSimulator(threads, seed)
+    # Shared-state views for the item programs. Serial code between regions
+    # keeps using the raw arrays; programs go through these wrappers so the
+    # monitor sees every access.
+    visited = AtomicArray(state.visited, name="visited", observer=monitor)
+    sh_parent = SharedArray(parent, "parent", monitor)
+    sh_root_x = SharedArray(root_x, "root_x", monitor)
+    sh_root_y = SharedArray(root_y, "root_y", monitor)
+    sh_leaf = SharedArray(leaf, "leaf", monitor)
+    sh_mate_y = SharedArray(mate_y, "mate_y", monitor)
+    sim = InterleavedSimulator(threads, seed, faults=faults)
+    if monitor is not None:
+        monitor.bind(sim=sim, graph=graph, state=state, matching=matching)
     alpha = options.alpha
     edges = 0
     deg_x = np.diff(graph.x_ptr)
     deg_y = np.diff(graph.y_ptr)
+    path_bound = 2 * (graph.n_x + graph.n_y) + 1
 
     def prefer_top_down(frontier: np.ndarray) -> bool:
         if not options.direction_optimizing:
@@ -66,30 +110,35 @@ def run_interleaved(
 
     def topdown_program(x: int, ts: SimThreadState) -> Generator[None, None, None]:
         nonlocal edges
-        rx = int(root_x[x])
-        if rx == UNMATCHED or leaf[rx] != UNMATCHED:
+        rx = sh_root_x.load(x)
+        if rx == UNMATCHED or sh_leaf.load(rx) != UNMATCHED:
             return
         for i in range(x_ptr[x], x_ptr[x + 1]):
             yield  # one interleaving point per scanned edge
             edges += 1
-            if leaf[rx] != UNMATCHED:
+            if sh_leaf.load(rx) != UNMATCHED:
                 break  # racy read — may miss a concurrent leaf write; benign
             y = x_adj[i]
             if visited.load(y):
                 continue  # cheap pre-check before the atomic (Section III-B)
             yield  # check-then-act window: another thread may claim y here
-            if not visited.compare_and_swap(y, 0, 1):
+            if NON_ATOMIC_VISITED in sim.faults:
+                # FAULT: plain store instead of CAS — the pre-check load above
+                # and this write no longer form an atomic claim, so two
+                # threads can both "win" y.
+                visited.store(y, 1)
+            elif not visited.compare_and_swap(y, 0, 1):
                 continue  # lost the claim race
             # The claim won: this thread owns y's pointers.
-            parent[y] = x
-            root_y[y] = rx
+            sh_parent.store(y, x)
+            sh_root_y.store(y, rx)
             state.num_unvisited_y -= 1
-            mate = int(mate_y[y])
+            mate = sh_mate_y.load(y)
             if mate != UNMATCHED:
-                root_x[mate] = rx
+                sh_root_x.store(mate, rx)
                 ts.local["queue"].append(mate)
             else:
-                leaf[rx] = y  # benign race: last concurrent writer wins
+                sh_leaf.store(rx, y)  # benign race: last concurrent writer wins
 
     def bottomup_program(y: int, ts: SimThreadState) -> Generator[None, None, None]:
         nonlocal edges
@@ -97,21 +146,21 @@ def run_interleaved(
             yield
             edges += 1
             x = y_adj[i]
-            rx = int(root_x[x])
-            if rx == UNMATCHED or leaf[rx] != UNMATCHED:
+            rx = sh_root_x.load(x)  # racy: may see a concurrently grafted tree
+            if rx == UNMATCHED or sh_leaf.load(rx) != UNMATCHED:
                 continue
             # y is owned by this thread: plain store, no atomic needed.
             if not visited.load(y):
                 state.num_unvisited_y -= 1
             visited.store(y, 1)
-            parent[y] = x
-            root_y[y] = rx
-            mate = int(mate_y[y])
+            sh_parent.store(y, x)
+            sh_root_y.store(y, rx)
+            mate = sh_mate_y.load(y)
             if mate != UNMATCHED:
-                root_x[mate] = rx
+                sh_root_x.store(mate, rx)
                 ts.local["queue"].append(mate)
             else:
-                leaf[rx] = y
+                sh_leaf.store(rx, y)
             break
 
     def run_region(items: np.ndarray, program) -> np.ndarray:
@@ -123,6 +172,8 @@ def run_interleaved(
         merged: List[int] = []
         for ts in thread_states:
             merged.extend(ts.local["queue"])
+        if monitor is not None:
+            monitor.after_barrier()
         return np.asarray(merged, dtype=np.int64)
 
     frontier = matching.unmatched_x()
@@ -131,6 +182,11 @@ def run_interleaved(
 
     while True:
         counters.phases += 1
+        if max_phases is not None and counters.phases > max_phases:
+            raise ReproError(
+                f"phase limit {max_phases} exceeded; the run is not converging "
+                f"(possible state corruption from fault injection)"
+            )
         # Step 1: BFS forest.
         while frontier.size:
             if state.num_unvisited_y == 0:
@@ -151,6 +207,11 @@ def run_interleaved(
             y = int(leaf[x0])
             length = 0
             while True:
+                if length > path_bound:
+                    raise InvariantViolation(
+                        f"augmenting path from root {int(x0)} exceeds {path_bound} "
+                        f"edges; parent/mate pointers form a cycle"
+                    )
                 x = int(parent[y])
                 prev_mate = int(mate_x[x])
                 mate_x[x] = y
@@ -189,6 +250,8 @@ def run_interleaved(
             leaf[frontier] = UNMATCHED
         if options.check_invariants:
             state.check_invariants(graph, matching)
+        if monitor is not None:
+            monitor.after_phase()
 
     counters.edges_traversed = edges
     return MatchResult(

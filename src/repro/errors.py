@@ -37,3 +37,16 @@ class SchedulerError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for misconfigured experiments."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the dynamic/static analysis tooling in :mod:`repro.analysis`."""
+
+
+class InvariantViolation(AnalysisError):
+    """Raised when a runtime invariant of the matching engine is broken.
+
+    Unlike plain ``assert`` (which vanishes under ``python -O``), these
+    checks always run when requested; the interleaved engine's race
+    tooling relies on them to catch state corruption from injected faults.
+    """

@@ -11,26 +11,62 @@ executes at a time); what matters is that algorithms only touch shared state
 through these operations at yield-point granularity, which makes the
 interleaving the only source of nondeterminism — exactly the nondeterminism
 real threads would produce.
+
+Every operation — including plain :meth:`AtomicArray.store`, which earlier
+versions left invisible — reports to an optional
+:class:`~repro.parallel.shared.AccessObserver`, so the dynamic race
+detector (:mod:`repro.analysis.racecheck`) sees the full access stream.
+Loads and RMW operations are flagged *atomic* (they synchronise, like C11
+atomic ops); ``store`` is a plain write, exactly the distinction the
+engine's bottom-up kernel relies on ("y is owned by this thread, no atomic
+needed").
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+from repro.parallel.shared import READ, WRITE, AccessObserver
 
 
 class AtomicArray:
     """A numpy integer array with CAS / fetch-and-or / fetch-and-add ops."""
 
-    def __init__(self, array: np.ndarray) -> None:
+    def __init__(
+        self,
+        array: np.ndarray,
+        name: str = "atomic",
+        observer: Optional[AccessObserver] = None,
+    ) -> None:
         self.array = array
+        self.name = name
+        self.observer = observer
         self.cas_attempts = 0
         self.cas_failures = 0
         self.rmw_ops = 0
+        self.load_ops = 0
+        self.store_ops = 0
 
     def load(self, index: int) -> int:
+        """Atomic (relaxed) load."""
+        self.load_ops += 1
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), READ, True)
         return int(self.array[index])
 
     def store(self, index: int, value: int) -> None:
+        """Plain, non-atomic store.
+
+        Used where the algorithm owns the location exclusively (e.g. the
+        bottom-up kernel writing its own row's ``visited`` flag). Counted
+        and reported as a *non-atomic* write so the race detector can tell
+        it apart from the synchronising RMW operations.
+        """
+        self.store_ops += 1
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), WRITE, False)
         self.array[index] = value
 
     def compare_and_swap(self, index: int, expected: int, new: int) -> bool:
@@ -41,19 +77,27 @@ class AtomicArray:
         """
         self.cas_attempts += 1
         if int(self.array[index]) == expected:
+            if self.observer is not None:
+                self.observer.record(self.name, int(index), WRITE, True)
             self.array[index] = new
             return True
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), READ, True)
         self.cas_failures += 1
         return False
 
     def fetch_and_or(self, index: int, mask: int) -> int:
         self.rmw_ops += 1
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), WRITE, True)
         old = int(self.array[index])
         self.array[index] = old | mask
         return old
 
     def fetch_and_add(self, index: int, delta: int) -> int:
         self.rmw_ops += 1
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), WRITE, True)
         old = int(self.array[index])
         self.array[index] = old + delta
         return old
@@ -62,12 +106,21 @@ class AtomicArray:
 class AtomicCounter:
     """A single shared counter (e.g. the shared queue's tail pointer)."""
 
-    def __init__(self, value: int = 0) -> None:
+    def __init__(
+        self,
+        value: int = 0,
+        name: str = "counter",
+        observer: Optional[AccessObserver] = None,
+    ) -> None:
         self.value = value
+        self.name = name
+        self.observer = observer
         self.rmw_ops = 0
 
     def fetch_and_add(self, delta: int) -> int:
         self.rmw_ops += 1
+        if self.observer is not None:
+            self.observer.record(self.name, 0, WRITE, True)
         old = self.value
         self.value += delta
         return old

@@ -1,0 +1,91 @@
+"""Observable shared-memory arrays for the interleaved simulator.
+
+The interleaved engine touches shared state through two kinds of wrapper:
+
+* :class:`~repro.parallel.atomics.AtomicArray` — read-modify-write
+  operations with the semantics of the paper's ``__sync_*`` builtins;
+* :class:`SharedArray` (this module) — *plain*, non-atomic loads and
+  stores, for locations the paper deliberately leaves unsynchronised
+  (``parent``, ``root``, and the benignly racy ``leaf`` pointers).
+
+Both report every access to an optional :class:`AccessObserver`, which is
+how the dynamic race detector in :mod:`repro.analysis.racecheck` sees the
+complete shared-memory footprint of a run. With no observer attached the
+wrappers are plain passthroughs; vectorised serial code between parallel
+regions keeps using the underlying ``.array`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+READ = "r"
+"""Access kind: a load."""
+
+WRITE = "w"
+"""Access kind: a store (or the write half of a successful RMW)."""
+
+
+class AccessObserver(Protocol):
+    """Receives one callback per shared-array access.
+
+    ``atomic`` distinguishes synchronising accesses (CAS, fetch-and-or,
+    fetch-and-add, atomic loads) from plain loads/stores; two accesses that
+    are both atomic can never form a data race.
+    """
+
+    def record(self, array: str, index: int, kind: str, atomic: bool) -> None:
+        ...
+
+
+class RegionMonitor(AccessObserver, Protocol):
+    """An observer that also follows the engine's barrier structure.
+
+    ``bind`` is called once by the engine before the first parallel region,
+    handing over the simulator (for thread/step attribution) and the shared
+    algorithm state (for invariant checking). ``after_barrier`` fires after
+    every barrier-delimited parallel region, ``after_phase`` after each
+    BFS-augment-graft phase.
+    """
+
+    def bind(self, *, sim, graph, state, matching) -> None:
+        ...
+
+    def after_barrier(self) -> None:
+        ...
+
+    def after_phase(self) -> None:
+        ...
+
+
+class SharedArray:
+    """A shared numpy array accessed through plain (non-atomic) load/store.
+
+    Item programs must route *every* access to shared arrays through
+    :meth:`load` / :meth:`store` (or an :class:`AtomicArray`); the custom
+    lint rule REP001 enforces this for the engine's generator programs.
+    """
+
+    __slots__ = ("array", "name", "observer")
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        name: str = "shared",
+        observer: Optional[AccessObserver] = None,
+    ) -> None:
+        self.array = array
+        self.name = name
+        self.observer = observer
+
+    def load(self, index: int) -> int:
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), READ, False)
+        return int(self.array[index])
+
+    def store(self, index: int, value: int) -> None:
+        if self.observer is not None:
+            self.observer.record(self.name, int(index), WRITE, False)
+        self.array[index] = value

@@ -23,7 +23,7 @@ The MS-BFS traversal programs that run on this engine live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable, List, Sequence
+from typing import Callable, Generator, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -49,13 +49,25 @@ class SimThreadState:
 class InterleavedSimulator:
     """Runs parallel-for regions under seeded random interleavings."""
 
-    def __init__(self, threads: int, seed: SeedLike = None) -> None:
+    def __init__(
+        self, threads: int, seed: SeedLike = None, faults: Iterable[str] = ()
+    ) -> None:
         if threads < 1:
             raise ValueError(f"thread count must be >= 1, got {threads}")
         self.threads = threads
         self.rng = as_rng(seed)
         self.total_steps = 0
         self.regions_run = 0
+        self.current_thread: Optional[int] = None
+        """Thread whose step is executing right now; None between regions
+        and in serial code. Lets access observers attribute each shared
+        access to a simulated thread."""
+        self.faults = frozenset(faults)
+        """Enabled fault-injection switches. Programs may consult this to
+        deliberately weaken their synchronisation (e.g.
+        ``"non-atomic-visited"`` de-atomises the visited claim in the
+        interleaved MS-BFS engine) so the race detector's *harmful*
+        classification can be exercised against a known-broken variant."""
 
     def parallel_for(
         self,
@@ -90,19 +102,23 @@ class InterleavedSimulator:
         # Interleave: each round, advance every live thread once, in a fresh
         # random order. This covers reorderings at step granularity while
         # guaranteeing progress and termination.
-        while live:
-            order = list(live.keys())
-            self.rng.shuffle(order)
-            for t in order:
-                gen = live.get(t)
-                if gen is None:
-                    continue
-                try:
-                    next(gen)
-                    states[t].steps_executed += 1
-                    self.total_steps += 1
-                except StopIteration:
-                    del live[t]
+        try:
+            while live:
+                order = list(live.keys())
+                self.rng.shuffle(order)
+                for t in order:
+                    gen = live.get(t)
+                    if gen is None:
+                        continue
+                    self.current_thread = t
+                    try:
+                        next(gen)
+                        states[t].steps_executed += 1
+                        self.total_steps += 1
+                    except StopIteration:
+                        del live[t]
+        finally:
+            self.current_thread = None
         for state in states:
             if on_thread_end is not None:
                 on_thread_end(state)

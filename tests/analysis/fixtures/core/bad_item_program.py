@@ -1,0 +1,13 @@
+"""Fixture: trips REP001 (raw shared-array mutation in an item program)."""
+
+
+def bad_program(x, ts):
+    shared = ts.local["shared"]
+    for i in range(3):
+        yield
+        shared[i] = x      # REP001: raw subscript store
+        shared[i] += 1     # REP001: raw subscript aug-assign
+
+
+def helper_without_yield(arr):
+    arr[0] = 1  # not an item program: no yield, must NOT trip REP001

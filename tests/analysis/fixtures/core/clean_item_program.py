@@ -1,0 +1,11 @@
+"""Fixture: an item program using wrapper ops only — must lint clean."""
+
+
+def good_program(x, ts, visited, parent):
+    for i in range(3):
+        yield
+        if visited.load(i):
+            continue
+        if not visited.compare_and_swap(i, 0, 1):
+            continue
+        parent.store(i, x)

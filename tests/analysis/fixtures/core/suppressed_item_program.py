@@ -1,0 +1,8 @@
+"""Fixture: a REP001 hit silenced by an explicit allow comment."""
+
+
+def waived_program(x, ts):
+    buf = ts.local["buf"]
+    for i in range(2):
+        yield
+        buf[i] = x  # lint: allow-shared-array-mutation — thread-private buffer

@@ -1,0 +1,7 @@
+"""Fixture: trips REP002 via the stdlib random module."""
+
+import random  # REP002: hidden global state
+
+
+def coin():
+    return random.random() < 0.5

@@ -1,0 +1,12 @@
+"""Fixture: trips REP002 (global RNG state outside repro.util.rng)."""
+
+import numpy as np
+
+
+def unseeded_sample(n):
+    np.random.seed(0)            # REP002: mutates global state
+    return np.random.rand(n)     # REP002: legacy global-state API
+
+
+def seeded_ok(rng):
+    return rng.integers(0, 10)   # fine: explicit Generator

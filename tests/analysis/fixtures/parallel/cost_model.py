@@ -1,0 +1,10 @@
+"""Fixture: trips REP003 (wall clock inside cost-model code)."""
+
+import time
+from time import perf_counter
+
+
+def charge_region(items):
+    start = time.time()          # REP003: host clock in a cost model
+    _ = perf_counter()           # REP003: imported-name form
+    return len(items), start

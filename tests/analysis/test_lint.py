@@ -1,0 +1,93 @@
+"""Custom AST lint pass: fixture violations trip, the real tree is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import DEFAULT_ROOT, RULES, lint_file, run_lint
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes(violations):
+    return [v.rule.split(" ")[0] for v in violations]
+
+
+class TestFixtures:
+    @pytest.fixture(scope="class")
+    def violations(self):
+        return run_lint(FIXTURES)
+
+    def test_raw_shared_mutation_trips_rep001(self, violations):
+        hits = [v for v in violations if "bad_item_program" in v.path]
+        assert codes(hits) == ["REP001", "REP001"]
+        assert all("item program" in v.message for v in hits)
+
+    def test_non_generator_subscript_not_flagged(self, violations):
+        hits = [v for v in violations if "bad_item_program" in v.path]
+        # helper_without_yield assigns arr[0] on line 13; must not be flagged.
+        assert all(v.line < 13 for v in hits)
+
+    def test_clean_item_program_passes(self, violations):
+        assert not any("clean_item_program" in v.path for v in violations)
+
+    def test_allow_comment_suppresses(self, violations):
+        assert not any("suppressed_item_program" in v.path for v in violations)
+
+    def test_unseeded_numpy_rng_trips_rep002(self, violations):
+        hits = [v for v in violations if "bad_unseeded_rng" in v.path]
+        assert codes(hits) == ["REP002", "REP002"]
+
+    def test_stdlib_random_trips_rep002(self, violations):
+        hits = [v for v in violations if "bad_stdlib_random" in v.path]
+        assert codes(hits) == ["REP002"]
+
+    def test_util_rng_exclusion(self, violations):
+        assert not any("util/rng.py" in v.path for v in violations)
+
+    def test_wallclock_in_cost_model_trips_rep003(self, violations):
+        hits = [v for v in violations if "cost_model" in v.path]
+        assert codes(hits) == ["REP003", "REP003"]
+        assert "host clock" in hits[0].message
+
+
+class TestRealTree:
+    def test_shipped_package_is_clean(self):
+        violations = run_lint(DEFAULT_ROOT)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_rules_cover_engine_file(self):
+        """REP001 really applies to the interleaved engine's module."""
+        rep001 = next(r for r in RULES if r.code == "REP001")
+        assert rep001.applies_to("core/engine_interleaved.py")
+        assert rep001.applies_to("parallel/simulator.py")
+        assert not rep001.applies_to("bench/runner.py")
+
+    def test_engine_regression_guard(self, tmp_path):
+        """A future PR reintroducing a raw write in the engine is caught."""
+        bad = tmp_path / "core"
+        bad.mkdir()
+        source = (DEFAULT_ROOT / "core" / "engine_interleaved.py").read_text()
+        source = source.replace("sh_parent.store(y, x)", "parent[y] = x")
+        assert "parent[y] = x" in source
+        (bad / "engine_interleaved.py").write_text(source)
+        violations = run_lint(tmp_path)
+        assert "REP001" in codes(violations)
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        violations = lint_file(broken, "broken.py")
+        assert codes(violations) == ["REP000"]
+
+
+class TestCli:
+    def test_lint_fixture_tree_exits_nonzero(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP002" in out and "REP003" in out
+
+    def test_lint_shipped_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out

@@ -89,3 +89,42 @@ class TestRunSerial:
         state = run_serial(range(5), counting_program(seen))
         assert [i for i, _ in seen] == list(range(5))
         assert state.steps_executed == 10
+
+
+class TestAnalysisHooks:
+    def test_current_thread_set_during_steps(self):
+        sim = InterleavedSimulator(3, seed=0)
+        observed = []
+
+        def program(item, ts):
+            observed.append(sim.current_thread)
+            yield
+            observed.append(sim.current_thread)
+            yield
+
+        sim.parallel_for(np.arange(6), program)
+        assert sim.current_thread is None
+        assert all(t is not None for t in observed)
+        assert set(observed) <= {0, 1, 2}
+
+    def test_current_thread_matches_owner(self):
+        sim = InterleavedSimulator(2, seed=0)
+        pairs = []
+
+        def program(item, ts):
+            pairs.append((sim.current_thread, ts.thread_id))
+            yield
+
+        sim.parallel_for(np.arange(8), program)
+        assert all(cur == tid for cur, tid in pairs)
+
+    def test_current_thread_none_outside(self):
+        sim = InterleavedSimulator(2, seed=0)
+        assert sim.current_thread is None
+
+    def test_faults_default_empty(self):
+        assert InterleavedSimulator(2, seed=0).faults == frozenset()
+
+    def test_faults_passthrough(self):
+        sim = InterleavedSimulator(2, seed=0, faults=("non-atomic-visited",))
+        assert "non-atomic-visited" in sim.faults

@@ -104,3 +104,35 @@ class TestNewCommands:
         path.write_text("# c\n0 0\n1 1\n")
         assert main(["match", str(path), "--format", "snap"]) == 0
         assert "structural rank" in capsys.readouterr().out
+
+
+class TestAnalysisCommands:
+    def test_lint_default_tree_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_lint_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "prog.py").write_text(
+            "def program(item, ts):\n    yield\n    shared[item] = 1\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_racecheck_default_clean(self, capsys):
+        assert main(["racecheck", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "harmful" in out
+        assert "0 harmful" in out
+
+    def test_racecheck_inject_exits_nonzero(self, capsys):
+        assert main(["racecheck", "--seeds", "2",
+                     "--inject", "non-atomic-visited"]) == 1
+        out = capsys.readouterr().out
+        assert "visited" in out
+
+    def test_racecheck_named_graph(self, capsys):
+        assert main(["racecheck", "--graph", "rmat", "--scale", "0.05",
+                     "--seeds", "1"]) == 0
+        assert "seed" in capsys.readouterr().out
