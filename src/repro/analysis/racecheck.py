@@ -1,11 +1,13 @@
-"""Dynamic data-race detection for the interleaved MS-BFS-Graft engine.
+"""Dynamic data-race detection for the MS-BFS-Graft parallel engines.
 
-The engine's item programs route every shared access through
+The interleaved engine's item programs route every shared access through
 :class:`~repro.parallel.shared.SharedArray` /
 :class:`~repro.parallel.atomics.AtomicArray`, which report to an attached
 :class:`RaceMonitor`. The monitor stamps each access with its simulated
 thread, global step, and barrier region, producing a complete shared-memory
-access log of one run.
+access log of one run. The vectorized numpy engine has no item programs;
+its bulk kernels self-report through :class:`BulkRaceMonitor` instead, and
+the same analysis (:func:`find_races`) and whitelist apply.
 
 **Happens-before model.** Three orderings, matching the OpenMP program the
 paper describes:
@@ -35,6 +37,7 @@ produces — is reported **harmful**.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -272,6 +275,65 @@ class RaceMonitor:
         return RaceReport(races=races, events=len(self.events), regions=regions)
 
 
+class BulkRaceMonitor:
+    """Race detection for the vectorized engine's bulk kernels.
+
+    The numpy fast path performs whole-frontier scatter/gather operations
+    instead of per-item programs, so the interleaved engine's step-level
+    monitor never sees it. The kernels instead report each bulk access
+    through the :class:`~repro.parallel.shared.BulkAccessObserver` protocol
+    (``state.observer``), attributing every element access to the *logical*
+    thread that owns it — the frontier X vertex in top-down, the row Y
+    vertex in bottom-up, the tree root in augmentation. Expanding those
+    reports element-wise yields the same :class:`AccessEvent` log the
+    interleaved monitor produces, so :func:`find_races` and the benign
+    whitelist apply unchanged (see ``docs/race_semantics.md``).
+
+    Each ``begin_region`` call opens a new barrier-delimited region: one
+    vectorized kernel call corresponds to one ``parallel for`` of the
+    OpenMP program.
+    """
+
+    def __init__(self, whitelist: Iterable[BenignRule] = DEFAULT_WHITELIST) -> None:
+        self.events: List[AccessEvent] = []
+        self.whitelist = tuple(whitelist)
+        self.regions_run = 0
+        self.region_kinds: List[str] = []
+        self._step = 0
+
+    # -- kernel-facing hooks (BulkAccessObserver protocol) ---------------- #
+
+    def begin_region(self, kind: str) -> None:
+        self.regions_run += 1
+        self.region_kinds.append(kind)
+
+    def record_bulk(self, array, indices, kind, atomic, threads) -> None:
+        import numpy as np
+
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        thr = np.broadcast_to(np.asarray(threads, dtype=np.int64), idx.shape)
+        for i, t in zip(idx.tolist(), thr.tolist()):
+            self.events.append(
+                AccessEvent(
+                    region=self.regions_run,
+                    step=self._step,
+                    thread=t,
+                    array=str(array),
+                    index=i,
+                    kind=kind,
+                    atomic=bool(atomic),
+                )
+            )
+            self._step += 1
+
+    # -- analysis -------------------------------------------------------- #
+
+    def analyze(self) -> RaceReport:
+        races = find_races(self.events, self.whitelist)
+        regions = len({ev.region for ev in self.events})
+        return RaceReport(races=races, events=len(self.events), regions=regions)
+
+
 @dataclass
 class RaceCheckOutcome:
     """Everything one monitored run produced."""
@@ -298,8 +360,16 @@ def run_racecheck(
     fault_injection: Iterable[str] = (),
     check_invariants: bool = True,
     whitelist: Iterable[BenignRule] = DEFAULT_WHITELIST,
+    engine: str = "interleaved",
 ) -> RaceCheckOutcome:
-    """Run MS-BFS-Graft on the interleaved engine under the race detector.
+    """Run MS-BFS-Graft under the race detector.
+
+    ``engine="interleaved"`` (default) simulates concurrent item programs
+    and monitors every shared access at step granularity; ``threads`` and
+    ``seed`` select the schedule. ``engine="numpy"`` runs the vectorized
+    fast path with a :class:`BulkRaceMonitor` attached, auditing the bulk
+    kernels' reported footprint instead — deterministic, so ``threads``,
+    ``seed`` and ``fault_injection`` do not apply.
 
     Fault-injected runs may corrupt shared state; the invariant checker
     (or the engine's own safety bounds) then aborts the run, which is
@@ -307,6 +377,32 @@ def run_racecheck(
     still analysed and classified.
     """
     from repro.core.engine_interleaved import run_interleaved
+
+    if engine == "numpy":
+        from repro.core.engine_numpy import run_numpy
+
+        if fault_injection:
+            raise ReproError(
+                "fault injection targets the interleaved engine's item "
+                "programs; not available with engine='numpy'"
+            )
+        bulk = BulkRaceMonitor(whitelist=whitelist)
+        opts = dataclasses.replace(
+            options or GraftOptions(), check_invariants=check_invariants
+        )
+        np_result: Optional[MatchResult] = None
+        np_error: Optional[str] = None
+        try:
+            np_result = run_numpy(graph, initial, opts, observer=bulk)
+        except ReproError as exc:
+            np_error = f"{type(exc).__name__}: {exc}"
+        np_report = bulk.analyze()
+        np_report.error = np_error
+        return RaceCheckOutcome(report=np_report, result=np_result)
+    if engine != "interleaved":
+        raise ReproError(
+            f"unknown racecheck engine {engine!r}; expected 'interleaved' or 'numpy'"
+        )
 
     monitor = RaceMonitor(check_invariants=check_invariants, whitelist=whitelist)
     result: Optional[MatchResult] = None

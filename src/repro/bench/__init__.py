@@ -9,6 +9,11 @@ them on the command line. All drivers return plain data structures plus a
 from repro.bench.suite import SuiteGraph, build_suite, suite_specs, get_suite_graph
 from repro.bench.runner import run_algorithm, ALGORITHMS
 from repro.bench.report import format_table, format_bar_chart, format_series
+from repro.bench.kernels_bench import (
+    run_kernel_bench,
+    validate_kernel_bench,
+    render_kernel_bench,
+)
 
 __all__ = [
     "SuiteGraph",
@@ -20,4 +25,7 @@ __all__ = [
     "format_table",
     "format_bar_chart",
     "format_series",
+    "run_kernel_bench",
+    "validate_kernel_bench",
+    "render_kernel_bench",
 ]

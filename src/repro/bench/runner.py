@@ -22,10 +22,10 @@ from repro.parallel.machine import MachineSpec
 AlgorithmFn = Callable[[BipartiteCSR, Optional[Matching]], MatchResult]
 
 ALGORITHMS: Dict[str, AlgorithmFn] = {
-    "ms-bfs-graft": lambda g, m: ms_bfs_graft(g, m),
-    "ms-bfs-graft-td": lambda g, m: ms_bfs_graft(g, m, direction_optimizing=False),
-    "ms-bfs-do": lambda g, m: ms_bfs_graft(g, m, grafting=False),
-    "ms-bfs": lambda g, m: ms_bfs(g, m),
+    "ms-bfs-graft": lambda g, m, **kw: ms_bfs_graft(g, m, **kw),
+    "ms-bfs-graft-td": lambda g, m, **kw: ms_bfs_graft(g, m, direction_optimizing=False, **kw),
+    "ms-bfs-do": lambda g, m, **kw: ms_bfs_graft(g, m, grafting=False, **kw),
+    "ms-bfs": lambda g, m, **kw: ms_bfs(g, m, **kw),
     "pothen-fan": lambda g, m: pothen_fan(g, m),
     "push-relabel": lambda g, m: push_relabel(g, m),
     "hopcroft-karp": lambda g, m: hopcroft_karp(g, m),
@@ -36,6 +36,9 @@ ALGORITHMS: Dict[str, AlgorithmFn] = {
 
 PARALLEL_ALGORITHMS = ("ms-bfs-graft", "pothen-fan", "push-relabel")
 """The three algorithms of the parallel comparisons (Figs. 3-5)."""
+
+ENGINE_AWARE = ("ms-bfs-graft", "ms-bfs-graft-td", "ms-bfs-do", "ms-bfs")
+"""Algorithms that run on the MS-BFS-Graft driver and accept an ``engine``."""
 
 
 def suite_initializer(graph: BipartiteCSR, seed: int = 0) -> Matching:
@@ -58,17 +61,25 @@ def run_algorithm(
     *,
     init: str = "karp-sipser-parallel",
     seed: int = 0,
+    engine: str | None = None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
 
     ``init`` selects the initialiser when ``initial`` is not given:
     ``"karp-sipser-parallel"`` (the suite default), ``"karp-sipser"``
-    (serial), or ``"none"`` (empty matching).
+    (serial), or ``"none"`` (empty matching). ``engine`` overrides the
+    MS-BFS-Graft backend dispatcher (only valid for the driver-backed
+    algorithms in :data:`ENGINE_AWARE`).
     """
     fn = ALGORITHMS.get(name)
     if fn is None:
         raise BenchmarkError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    if engine is not None and name not in ENGINE_AWARE:
+        raise BenchmarkError(
+            f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "
+            f"--engine applies only to {ENGINE_AWARE}"
+        )
     if initial is None:
         if init == "karp-sipser-parallel":
             initial = suite_initializer(graph, seed=seed)
@@ -76,6 +87,8 @@ def run_algorithm(
             initial = karp_sipser(graph, seed=seed).matching
         elif init != "none":
             raise BenchmarkError(f"unknown initialiser {init!r}")
+    if engine is not None:
+        return fn(graph, initial, engine=engine)
     return fn(graph, initial)
 
 

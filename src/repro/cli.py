@@ -45,7 +45,7 @@ _EXPERIMENTS: Dict[str, Callable[[float], object]] = {
 
 def _cmd_run(args: argparse.Namespace) -> int:
     sg = get_suite_graph(args.graph, scale=args.scale)
-    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed)
+    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed, engine=args.engine)
     verify_maximum(sg.graph, result.matching)
     if args.report:
         from repro.instrument.report import run_report
@@ -99,7 +99,7 @@ def _read_graph_file(path: str, fmt: str):
 
 def _cmd_match(args: argparse.Namespace) -> int:
     graph = _read_graph_file(args.path, args.format)
-    result = run_algorithm(args.algorithm, graph, seed=args.seed)
+    result = run_algorithm(args.algorithm, graph, seed=args.seed, engine=args.engine)
     verify_maximum(graph, result.matching)
     print(f"{args.path}: n_rows={graph.n_x:,} n_cols={graph.n_y:,} nnz={graph.nnz:,}")
     print(f"maximum matching (structural rank): {result.cardinality:,}")
@@ -188,6 +188,21 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.bench.kernels_bench import (
+        render_kernel_bench,
+        run_kernel_bench,
+        write_kernel_bench,
+    )
+
+    doc = run_kernel_bench(scale=args.scale, repeats=args.repeats, graphs=args.graphs)
+    print(render_kernel_bench(doc))
+    if args.out:
+        write_kernel_bench(doc, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import DEFAULT_ROOT, run_lint
 
@@ -220,13 +235,20 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
         label = "random-bipartite n=30x30 m=120"
     init = greedy_matching(graph, shuffle=True, seed=1).matching
     faults = (args.inject,) if args.inject else ()
-    print(f"racecheck: {label}, threads={args.threads}, "
-          f"seeds {args.seed}..{args.seed + args.seeds - 1}"
-          + (f", fault={args.inject}" if args.inject else ""))
+    if args.engine == "numpy":
+        # The vectorized engine is deterministic: one audit, no seed sweep.
+        seeds = range(args.seed, args.seed + 1)
+        print(f"racecheck: {label}, engine=numpy (bulk-kernel audit)")
+    else:
+        seeds = range(args.seed, args.seed + args.seeds)
+        print(f"racecheck: {label}, threads={args.threads}, "
+              f"seeds {args.seed}..{args.seed + args.seeds - 1}"
+              + (f", fault={args.inject}" if args.inject else ""))
     benign_total = harmful_total = 0
-    for s in range(args.seed, args.seed + args.seeds):
+    for s in seeds:
         outcome = run_racecheck(
             graph, init, threads=args.threads, seed=s, fault_injection=faults,
+            engine=args.engine,
         )
         report = outcome.report
         benign_total += len(report.benign)
@@ -262,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
     p_run.add_argument("--scale", type=float, default=0.3)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+                       default=None,
+                       help="override the backend dispatcher (MS-BFS-Graft "
+                            "family only; default: cost-model auto-dispatch)")
     p_run.add_argument("--report", action="store_true",
                        help="print the full instrumented run report")
     p_run.set_defaults(fn=_cmd_run)
@@ -279,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("path")
     p_match.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
     p_match.add_argument("--seed", type=int, default=0)
+    p_match.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+                         default=None,
+                         help="override the backend dispatcher (MS-BFS-Graft "
+                              "family only)")
     p_match.add_argument("--format", choices=["auto", "mtx", "snap", "dimacs"],
                          default="auto")
     p_match.set_defaults(fn=_cmd_match)
@@ -306,6 +336,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--decomposition", choices=["1d", "2d"], default="1d")
     p_dist.set_defaults(fn=_cmd_distributed)
 
+    p_bk = sub.add_parser(
+        "bench-kernels",
+        help="time the python vs numpy backends (BENCH_kernels.json baseline)",
+    )
+    p_bk.add_argument("--scale", type=float, default=1.0,
+                      help="instance scale; 1.0 = the 2^14-vertex RMAT baseline")
+    p_bk.add_argument("--repeats", type=int, default=3,
+                      help="timed runs per (graph, engine); best + mean recorded")
+    p_bk.add_argument("--graphs", nargs="+", default=None,
+                      choices=["rmat", "er", "skewed"],
+                      help="subset of bench inputs (default: all three)")
+    p_bk.add_argument("--out", default=None,
+                      help="write the validated JSON document here "
+                           "(e.g. benchmarks/BENCH_kernels.json)")
+    p_bk.set_defaults(fn=_cmd_bench_kernels)
+
     p_lint = sub.add_parser("lint", help="repo-specific AST lint rules (REP001-REP003)")
     p_lint.add_argument("paths", nargs="*",
                         help="package-shaped directories to lint (default: src/repro)")
@@ -317,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rc.add_argument("--graph", choices=suite_specs(), default=None,
                       help="suite graph to check (default: a small contended instance)")
+    p_rc.add_argument("--engine", choices=["interleaved", "numpy"],
+                      default="interleaved",
+                      help="interleaved: simulated schedules; numpy: audit the "
+                           "vectorized kernels' self-reported bulk accesses")
     p_rc.add_argument("--scale", type=float, default=0.05)
     p_rc.add_argument("--threads", type=int, default=4)
     p_rc.add_argument("--seed", type=int, default=0, help="first schedule seed")

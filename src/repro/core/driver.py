@@ -1,17 +1,64 @@
-"""Public entry point for the MS-BFS-Graft algorithm."""
+"""Public entry point for the MS-BFS-Graft algorithm, with backend dispatch."""
 
 from __future__ import annotations
 
 from repro.core.engine_interleaved import run_interleaved
 from repro.core.engine_numpy import run_numpy
 from repro.core.engine_python import run_python
-from repro.core.options import GraftOptions
+from repro.core.options import DISPATCH_WORK_THRESHOLD, DispatchDecision, GraftOptions
 from repro.errors import ReproError
 from repro.graph.csr import BipartiteCSR
 from repro.matching.base import MatchResult, Matching
 from repro.util.rng import SeedLike
 
-_ENGINES = ("numpy", "python", "interleaved")
+_ENGINES = ("auto", "numpy", "python", "interleaved")
+
+
+def choose_engine(
+    graph: BipartiteCSR,
+    *,
+    emit_trace: bool = True,
+    threshold: int = DISPATCH_WORK_THRESHOLD,
+) -> DispatchDecision:
+    """Cost-model backend dispatch: pick the python or numpy engine.
+
+    Mirrors the shape of the paper's direction rule (Algorithm 3 line 9,
+    ``|F| < numUnvisitedY / alpha``): a single work estimate compared
+    against a calibrated threshold. The estimate is ``nnz + n_x + n_y`` —
+    the per-phase touch count of the level kernels — and the threshold is
+    the measured crossover where numpy's per-call overhead stops dominating
+    (:data:`~repro.core.options.DISPATCH_WORK_THRESHOLD`).
+
+    Work traces for the simulated machine only exist on the vectorized
+    backend, so ``emit_trace=True`` forces numpy regardless of size.
+    """
+    if emit_trace:
+        return DispatchDecision(
+            engine="numpy",
+            reason="work trace requested; only the vectorized backend emits traces",
+            work=int(graph.nnz + graph.n_x + graph.n_y),
+            threshold=threshold,
+        )
+    work = int(graph.nnz + graph.n_x + graph.n_y)
+    if work < threshold:
+        return DispatchDecision(
+            engine="python",
+            reason=(
+                f"work estimate {work} < {threshold}: below the vectorization "
+                f"overhead crossover, interpreted loops win"
+            ),
+            work=work,
+            threshold=threshold,
+        )
+    return DispatchDecision(
+        engine="numpy",
+        reason=(
+            f"work estimate {work} >= {threshold}: bulk kernels amortise "
+            f"their per-call overhead"
+        ),
+        work=work,
+        threshold=threshold,
+    )
 
 
 def ms_bfs_graft(
@@ -22,7 +69,7 @@ def ms_bfs_graft(
     direction_optimizing: bool = True,
     grafting: bool = True,
     direction_strategy: str = "vertex",
-    engine: str = "numpy",
+    engine: str = "auto",
     record_frontiers: bool = False,
     emit_trace: bool = True,
     check_invariants: bool = False,
@@ -52,13 +99,17 @@ def ms_bfs_graft(
         (Beamer's degree-weighted rule); see
         :class:`~repro.core.options.GraftOptions`.
     engine:
-        ``"numpy"`` (vectorized, parallel semantics, emits work traces),
-        ``"python"`` (serial reference), or ``"interleaved"`` (simulated
-        concurrent execution; honours ``threads`` and ``seed``).
+        ``"auto"`` (cost-model dispatch between python and numpy, see
+        :func:`choose_engine`), ``"numpy"`` (vectorized, parallel
+        semantics, emits work traces), ``"python"`` (serial reference), or
+        ``"interleaved"`` (simulated concurrent execution; honours
+        ``threads`` and ``seed``). Passing a concrete engine name is the
+        explicit override of the dispatcher.
     record_frontiers:
         Record per-level frontier sizes (Fig. 8).
     emit_trace:
-        Emit a :class:`~repro.parallel.trace.WorkTrace` (numpy engine only).
+        Emit a :class:`~repro.parallel.trace.WorkTrace` (numpy engine only;
+        steers ``"auto"`` towards numpy).
     check_invariants:
         Assert forest invariants each phase (slow; for tests).
     threads, seed:
@@ -79,6 +130,8 @@ def ms_bfs_graft(
         emit_trace=emit_trace,
         check_invariants=check_invariants,
     )
+    if engine == "auto":
+        engine = choose_engine(graph, emit_trace=emit_trace).engine
     if engine == "numpy":
         return run_numpy(graph, initial, options)
     if engine == "python":

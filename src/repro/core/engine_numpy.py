@@ -29,9 +29,17 @@ from repro.util.timer import StepTimer
 
 
 def run_numpy(
-    graph: BipartiteCSR, initial: Matching | None, options: GraftOptions
+    graph: BipartiteCSR,
+    initial: Matching | None,
+    options: GraftOptions,
+    observer=None,
 ) -> MatchResult:
-    """MS-BFS-Graft with vectorized kernels; emits a work trace."""
+    """MS-BFS-Graft with vectorized kernels; emits a work trace.
+
+    ``observer`` optionally attaches a
+    :class:`~repro.parallel.shared.BulkAccessObserver` to the forest state,
+    so the race detector can audit the kernels' bulk accesses.
+    """
     start = time.perf_counter()
     matching = init_matching(graph, initial)
     counters = Counters()
@@ -39,6 +47,8 @@ def run_numpy(
     trace = WorkTrace() if options.emit_trace else None
     frontier_log = FrontierLog() if options.record_frontiers else None
     state = ForestState.for_graph(graph)
+    state.observer = observer
+    workspace = kernels.KernelWorkspace.for_graph(graph)
     alpha = options.alpha
     deg_x = np.diff(graph.x_ptr)
     deg_y = np.diff(graph.y_ptr)
@@ -72,7 +82,7 @@ def run_numpy(
             if prefer_top_down(frontier):
                 counters.topdown_steps += 1
                 with timer.step("topdown"):
-                    stats = kernels.topdown_level(graph, state, matching, frontier)
+                    stats = kernels.topdown_level(graph, state, matching, frontier, workspace)
                 if trace is not None:
                     trace.add(
                         "topdown",
@@ -84,7 +94,7 @@ def run_numpy(
                 counters.bottomup_steps += 1
                 with timer.step("bottomup"):
                     rows = np.flatnonzero(state.visited == 0).astype(INDEX_DTYPE)
-                    stats = kernels.bottomup_level(graph, state, matching, rows)
+                    stats = kernels.bottomup_level(graph, state, matching, rows, workspace)
                 if trace is not None:
                     trace.add(
                         "bottomup",
@@ -110,16 +120,17 @@ def run_numpy(
 
         # --- Step 3: rebuild the frontier (GRAFT) ---------------------- #
         with timer.step("statistics"):
-            gstats = kernels.graft_statistics(state)
+            gstats = kernels.graft_partition(state)
         if trace is not None:
             trace.add_uniform("statistics", graph.n_x + graph.n_y, 1.0)
         with timer.step("grafting"):
-            kernels.reset_rows(state, gstats.renewable_y)
             use_graft = options.grafting and (
                 gstats.active_x_count > gstats.renewable_y.size / alpha
             )
             if use_graft:
-                stats = kernels.bottomup_level(graph, state, matching, gstats.renewable_y)
+                stats = kernels.bottomup_level(
+                    graph, state, matching, gstats.renewable_y, workspace, region="grafting"
+                )
                 counters.edges_traversed += stats.edges
                 counters.grafts += stats.claims
                 frontier = stats.next_frontier

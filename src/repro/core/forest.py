@@ -25,9 +25,18 @@ from repro.matching.base import UNMATCHED, Matching
 
 class ForestState:
     """Mutable forest arrays plus the unvisited-Y counter for direction
-    optimization."""
+    optimization.
 
-    __slots__ = ("n_x", "n_y", "visited", "parent", "root_x", "root_y", "leaf", "num_unvisited_y")
+    ``observer`` optionally holds a
+    :class:`~repro.parallel.shared.BulkAccessObserver`; when set, the
+    vectorized kernels report their bulk shared-array accesses to it so the
+    dynamic race detector can audit the numpy fast path.
+    """
+
+    __slots__ = (
+        "n_x", "n_y", "visited", "parent", "root_x", "root_y", "leaf",
+        "num_unvisited_y", "observer",
+    )
 
     def __init__(self, n_x: int, n_y: int) -> None:
         self.n_x = n_x
@@ -38,6 +47,7 @@ class ForestState:
         self.root_y = np.full(n_y, UNMATCHED, dtype=INDEX_DTYPE)
         self.leaf = np.full(n_x, UNMATCHED, dtype=INDEX_DTYPE)
         self.num_unvisited_y = n_y
+        self.observer = None
 
     @classmethod
     def for_graph(cls, graph: BipartiteCSR) -> "ForestState":

@@ -10,6 +10,24 @@ a single winner is kept.
 
 Each kernel returns the next frontier plus the statistics the work trace
 needs (per-item costs, atomic counts, traversed edges).
+
+Implementation notes on the fast path:
+
+* Claim resolution is a fused O(k) scatter (:func:`first_claim`) instead of
+  an O(k log k) sort — the winner for a contested Y vertex is the first
+  claimant in frontier order, which is both deterministic and exactly the
+  serialisation a first-come-first-served CAS would impose.
+* Kernels accept an optional :class:`KernelWorkspace` so the per-level
+  scratch arrays are allocated once per run, not once per level.
+* Augmentation advances all discovered augmenting paths in lockstep
+  (:func:`augment_all`): the paths are vertex-disjoint, so the per-step
+  scatter writes never conflict — the same argument that lets the paper
+  flip them in parallel.
+* When a :class:`~repro.parallel.shared.BulkAccessObserver` is attached to
+  the :class:`~repro.core.forest.ForestState` (``state.observer``), every
+  kernel reports its bulk reads/writes of shared arrays, so the dynamic
+  race detector (``repro-match racecheck --engine numpy``) sees the fast
+  path's memory footprint instead of going blind on it.
 """
 
 from __future__ import annotations
@@ -21,6 +39,41 @@ import numpy as np
 from repro.core.forest import ForestState
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
 from repro.matching.base import UNMATCHED, Matching
+from repro.parallel.shared import READ, WRITE
+
+
+class KernelWorkspace:
+    """Reusable per-run scratch buffers for the level kernels.
+
+    ``slot_x`` / ``slot_y`` back the :func:`first_claim` scatter; their
+    contents are meaningless between calls (every slot that is read was
+    written earlier in the same call), so no per-level clearing is needed.
+    """
+
+    __slots__ = ("slot_x", "slot_y")
+
+    def __init__(self, n_x: int, n_y: int) -> None:
+        self.slot_x = np.empty(n_x, dtype=np.int64)
+        self.slot_y = np.empty(n_y, dtype=np.int64)
+
+    @classmethod
+    def for_graph(cls, graph: BipartiteCSR) -> "KernelWorkspace":
+        return cls(graph.n_x, graph.n_y)
+
+
+def first_claim(targets: np.ndarray, slot: np.ndarray) -> np.ndarray:
+    """First-writer-wins claim resolution in O(len(targets)).
+
+    Returns a boolean mask selecting, for every distinct value in
+    ``targets``, its *first* occurrence — the claimant that would win a
+    first-come-first-served CAS. ``slot`` is an int64 scratch array
+    indexable by every target value; only the slots touched here are read,
+    so it never needs clearing.
+    """
+    order = np.arange(targets.shape[0], dtype=np.int64)
+    # Reversed scatter: the last write per slot is the *first* occurrence.
+    slot[targets[::-1]] = order[::-1]
+    return slot[targets] == order
 
 
 @dataclass
@@ -36,6 +89,17 @@ class LevelStats:
     """Total claim attempts (wins + losses); losses model CAS contention."""
     endpoints: int
     """Unmatched Y vertices reached (augmenting paths discovered)."""
+
+
+def _empty_stats() -> LevelStats:
+    return LevelStats(
+        next_frontier=np.empty(0, dtype=INDEX_DTYPE),
+        item_costs=np.empty(0),
+        edges=0,
+        claims=0,
+        attempts=0,
+        endpoints=0,
+    )
 
 
 def _gather_segments(ptr: np.ndarray, adj: np.ndarray, rows: np.ndarray):
@@ -62,7 +126,11 @@ def _gather_segments(ptr: np.ndarray, adj: np.ndarray, rows: np.ndarray):
 
 
 def topdown_level(
-    graph: BipartiteCSR, state: ForestState, matching: Matching, frontier: np.ndarray
+    graph: BipartiteCSR,
+    state: ForestState,
+    matching: Matching,
+    frontier: np.ndarray,
+    workspace: KernelWorkspace | None = None,
 ) -> LevelStats:
     """Algorithm 4, one level, parallel semantics.
 
@@ -70,19 +138,16 @@ def topdown_level(
     concurrent version does — no serial early-break); unvisited targets are
     claimed first-writer-wins.
     """
+    ws = workspace if workspace is not None else KernelWorkspace.for_graph(graph)
+    obs = state.observer
     frontier = np.asarray(frontier, dtype=INDEX_DTYPE)
     if frontier.size:
         active = state.active_x_mask()[frontier]
         frontier = frontier[active]
     if frontier.size == 0:
-        return LevelStats(
-            next_frontier=np.empty(0, dtype=INDEX_DTYPE),
-            item_costs=np.empty(0),
-            edges=0,
-            claims=0,
-            attempts=0,
-            endpoints=0,
-        )
+        return _empty_stats()
+    if obs is not None:
+        obs.begin_region("topdown")
     src, dst, offsets = _gather_segments(graph.x_ptr, graph.x_adj, frontier)
     edges = int(dst.shape[0])
     item_costs = np.diff(offsets).astype(np.float64) + 1.0
@@ -90,14 +155,31 @@ def topdown_level(
     src_u = src[unvis]
     dst_u = dst[unvis]
     attempts = int(dst_u.shape[0])
-    # First occurrence per target = the winning atomic claim.
-    winners, first_idx = np.unique(dst_u, return_index=True)
-    claim_src = src_u[first_idx]
-    return _apply_claims(state, matching, winners, claim_src, item_costs, edges, attempts)
+    if attempts:
+        # First occurrence per target = the winning atomic claim.
+        win = first_claim(dst_u, ws.slot_y)
+        winners = dst_u[win]
+        claim_src = src_u[win]
+        if obs is not None:
+            # CAS on visited: winners write atomically, losers observe the
+            # set flag (the failing read half of the CAS).
+            obs.record_bulk("visited", winners, WRITE, True, claim_src)
+            obs.record_bulk("visited", dst_u[~win], READ, True, src_u[~win])
+    else:
+        winners = np.empty(0, dtype=INDEX_DTYPE)
+        claim_src = np.empty(0, dtype=INDEX_DTYPE)
+    return _apply_claims(
+        state, matching, winners, claim_src, claim_src, item_costs, edges, attempts, ws
+    )
 
 
 def bottomup_level(
-    graph: BipartiteCSR, state: ForestState, matching: Matching, rows: np.ndarray
+    graph: BipartiteCSR,
+    state: ForestState,
+    matching: Matching,
+    rows: np.ndarray,
+    workspace: KernelWorkspace | None = None,
+    region: str = "bottomup",
 ) -> LevelStats:
     """Algorithm 6 over row set ``rows`` (regular bottom-up or grafting).
 
@@ -105,16 +187,13 @@ def bottomup_level(
     active-tree neighbour, based on the level-start active state. No atomics
     are needed: each row is owned by a single thread (Section III-B).
     """
+    ws = workspace if workspace is not None else KernelWorkspace.for_graph(graph)
+    obs = state.observer
     rows = np.asarray(rows, dtype=INDEX_DTYPE)
     if rows.size == 0:
-        return LevelStats(
-            next_frontier=np.empty(0, dtype=INDEX_DTYPE),
-            item_costs=np.empty(0),
-            edges=0,
-            claims=0,
-            attempts=0,
-            endpoints=0,
-        )
+        return _empty_stats()
+    if obs is not None:
+        obs.begin_region(region)
     src, dst, offsets = _gather_segments(graph.y_ptr, graph.y_adj, rows)
     active_edge = state.active_x_mask()[dst] if dst.size else np.empty(0, dtype=bool)
     # First active neighbour per row, via the sorted indices of active edges.
@@ -133,7 +212,15 @@ def bottomup_level(
     item_costs = scanned + 1.0
     winners = rows[has_hit]
     claim_src = dst[first_edge[has_hit]] if winners.size else np.empty(0, dtype=INDEX_DTYPE)
-    return _apply_claims(state, matching, winners, claim_src, item_costs, edges, attempts=0)
+    if obs is not None and dst.size:
+        # The scan's racy root_x/leaf reads (stale membership is benign) and
+        # the owned-row visited store (no atomic needed, Section III-B).
+        obs.record_bulk("root_x", dst, READ, False, src)
+        if winners.size:
+            obs.record_bulk("visited", winners, WRITE, False, winners)
+    return _apply_claims(
+        state, matching, winners, claim_src, winners, item_costs, edges, 0, ws
+    )
 
 
 def _apply_claims(
@@ -141,11 +228,19 @@ def _apply_claims(
     matching: Matching,
     winners: np.ndarray,
     claim_src: np.ndarray,
+    claim_threads: np.ndarray,
     item_costs: np.ndarray,
     edges: int,
     attempts: int,
+    ws: KernelWorkspace,
 ) -> LevelStats:
-    """Algorithm 5 for a batch of claimed (y := winners, x := claim_src)."""
+    """Algorithm 5 for a batch of claimed (y := winners, x := claim_src).
+
+    ``claim_threads`` identifies the logical thread that owns each claim
+    (the frontier X vertex in top-down, the row itself in bottom-up) for
+    the race observer's attribution.
+    """
+    obs = state.observer
     claims = int(winners.shape[0])
     if claims:
         roots = state.root_x[claim_src]
@@ -153,17 +248,30 @@ def _apply_claims(
         state.parent[winners] = claim_src
         state.root_y[winners] = roots
         state.num_unvisited_y -= claims
+        if obs is not None:
+            obs.record_bulk("parent", winners, WRITE, False, claim_threads)
+            obs.record_bulk("root_y", winners, WRITE, False, claim_threads)
         mates = matching.mate_y[winners]
         matched = mates != UNMATCHED
         next_frontier = mates[matched].astype(INDEX_DTYPE)
         state.root_x[next_frontier] = roots[matched]
+        if obs is not None and next_frontier.size:
+            obs.record_bulk("root_x", next_frontier, WRITE, False, claim_threads[matched])
         # Unmatched winners end augmenting paths; one leaf survives per tree
-        # (the paper's benign race — we keep the first, deterministically).
+        # (the paper's benign race — we keep the first claimant's endpoint,
+        # deterministically).
         endpoint_y = winners[~matched]
         endpoint_roots = roots[~matched]
-        uniq_roots, first = np.unique(endpoint_roots, return_index=True)
-        state.leaf[uniq_roots] = endpoint_y[first]
-        endpoints = int(uniq_roots.shape[0])
+        if endpoint_y.size:
+            win = first_claim(endpoint_roots, ws.slot_x)
+            state.leaf[endpoint_roots[win]] = endpoint_y[win]
+            endpoints = int(np.count_nonzero(win))
+            if obs is not None:
+                # Every endpoint attempts the leaf write; concurrent attempts
+                # on one root are the paper's benign write-write race.
+                obs.record_bulk("leaf", endpoint_roots, WRITE, False, claim_threads[~matched])
+        else:
+            endpoints = 0
     else:
         next_frontier = np.empty(0, dtype=INDEX_DTYPE)
         endpoints = 0
@@ -183,30 +291,36 @@ def augment_all(
     """Step 2 of Algorithm 3: flip every discovered augmenting path.
 
     Returns ``(renewable_roots, path_lengths)``. Paths are vertex-disjoint
-    (one per tree, trees vertex-disjoint) so the real implementation flips
-    them in parallel; the pointer chasing itself is inherently sequential
-    per path, which is why path length drives the parallel augment cost.
+    (one per tree, trees vertex-disjoint), so all of them advance in
+    lockstep: each iteration flips one matched edge on every still-live
+    path with conflict-free scatter writes. The per-path pointer chasing is
+    inherently sequential, which is why path length drives the parallel
+    augment cost.
     """
     mate_x = matching.mate_x
     mate_y = matching.mate_y
+    obs = state.observer
     roots = np.flatnonzero((mate_x == UNMATCHED) & (state.leaf != UNMATCHED)).astype(INDEX_DTYPE)
     parent = state.parent
-    lengths: list[int] = []
-    for x0 in roots:
-        y = int(state.leaf[x0])
-        length = 0
-        while True:
-            x = int(parent[y])
-            prev_mate = int(mate_x[x])
-            mate_x[x] = y
-            mate_y[y] = x
-            length += 1
-            if prev_mate == UNMATCHED:
-                break
-            y = prev_mate
-            length += 1
-        lengths.append(length)
-    return roots, lengths
+    lengths = np.zeros(roots.shape[0], dtype=np.int64)
+    if roots.size and obs is not None:
+        obs.begin_region("augment")
+    live = np.arange(roots.shape[0])
+    y = state.leaf[roots].astype(INDEX_DTYPE)
+    while live.size:
+        x = parent[y]
+        prev_mate = mate_x[x]
+        mate_x[x] = y
+        mate_y[y] = x
+        if obs is not None:
+            obs.record_bulk("mate_x", x, WRITE, False, roots[live])
+            obs.record_bulk("mate_y", y, WRITE, False, roots[live])
+        lengths[live] += 1
+        cont = prev_mate != UNMATCHED
+        live = live[cont]
+        lengths[live] += 1
+        y = prev_mate[cont].astype(INDEX_DTYPE)
+    return roots, lengths.tolist()
 
 
 @dataclass
@@ -221,11 +335,30 @@ class GraftStats:
 def graft_statistics(state: ForestState) -> GraftStats:
     """Classify vertices into active / renewable sets and clear the stale
     root pointers of renewable X vertices."""
-    renewable_x = np.flatnonzero(state.renewable_x_mask())
-    state.root_x[renewable_x] = UNMATCHED
-    active_x_count = int(np.count_nonzero(state.root_x != UNMATCHED))
-    active_y = np.flatnonzero(state.active_y_mask()).astype(INDEX_DTYPE)
-    renewable_y = np.flatnonzero(state.renewable_y_mask()).astype(INDEX_DTYPE)
+    return graft_partition(state, recycle=False)
+
+
+def graft_partition(state: ForestState, *, recycle: bool = True) -> GraftStats:
+    """Fused GRAFT statistics + renewable-Y recycling (Alg. 7 lines 2-6).
+
+    One pass over each side partitions vertices into active / renewable,
+    clears the stale root pointers of renewable X vertices and — when
+    ``recycle`` is set — resets the renewable Y rows (visited flag, root)
+    so they can be re-claimed, all without re-deriving the ``leaf`` gather
+    per query the way the individual mask helpers do.
+    """
+    rooted_x = state.root_x != UNMATCHED
+    safe_x = np.where(rooted_x, state.root_x, 0)
+    renewable_mask_x = rooted_x & (state.leaf[safe_x] != UNMATCHED)
+    state.root_x[renewable_mask_x] = UNMATCHED
+    active_x_count = int(np.count_nonzero(rooted_x & ~renewable_mask_x))
+    rooted_y = state.root_y != UNMATCHED
+    safe_y = np.where(rooted_y, state.root_y, 0)
+    renewable_mask_y = rooted_y & (state.leaf[safe_y] != UNMATCHED)
+    active_y = np.flatnonzero(rooted_y & ~renewable_mask_y).astype(INDEX_DTYPE)
+    renewable_y = np.flatnonzero(renewable_mask_y).astype(INDEX_DTYPE)
+    if recycle:
+        reset_rows(state, renewable_y)
     return GraftStats(active_x_count=active_x_count, active_y=active_y, renewable_y=renewable_y)
 
 

@@ -1,10 +1,34 @@
-"""Configuration for the MS-BFS-Graft driver."""
+"""Configuration for the MS-BFS-Graft driver, including backend dispatch."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.errors import ReproError
+
+DISPATCH_WORK_THRESHOLD = 4096
+"""Crossover point of the backend cost model (see :func:`repro.core.driver.choose_engine`).
+
+The vectorized backend pays a fixed per-kernel-call overhead (numpy ufunc
+dispatch, temporary allocation) that the interpreted backend does not; the
+interpreted backend pays a per-edge interpretation cost the vectorized one
+amortises. Analogous to the paper's direction rule (top-down while
+``|F| < numUnvisitedY / alpha``), the dispatcher therefore picks the
+interpreted backend while the run's estimated work ``nnz + n_x + n_y``
+is below this threshold. The value is calibrated on ER bipartite graphs
+(``random_bipartite(n, n, 4n)``): the measured python/numpy runtime ratio
+crosses 1.0 between work ≈ 2,400 (ratio 0.5) and work ≈ 4,800 (ratio 1.0);
+``docs/performance.md`` records the calibration table."""
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Outcome of the backend cost model, with its inputs for reporting."""
+
+    engine: str
+    reason: str
+    work: int
+    threshold: int
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ def ms_bfs(
     graph: BipartiteCSR,
     initial: Matching | None = None,
     *,
-    engine: str = "numpy",
+    engine: str = "auto",
     record_frontiers: bool = False,
     emit_trace: bool = True,
 ) -> MatchResult:

@@ -40,6 +40,27 @@ class AccessObserver(Protocol):
         ...
 
 
+class BulkAccessObserver(Protocol):
+    """Receives batched access reports from the vectorized kernels.
+
+    The numpy engine executes one barrier-delimited region per kernel call
+    and resolves would-be races deterministically *inside* the kernel
+    (first-claimant-wins). To keep the dynamic race detector honest on this
+    fast path, each kernel reports the accesses the equivalent parallel
+    loop would have made: ``begin_region`` opens a new barrier region,
+    ``record_bulk`` reports one access per element of ``indices``, with
+    ``threads[i]`` naming the logical thread (work item) that made it.
+    """
+
+    def begin_region(self, kind: str) -> None:
+        ...
+
+    def record_bulk(
+        self, array: str, indices, kind: str, atomic: bool, threads
+    ) -> None:
+        ...
+
+
 class RegionMonitor(AccessObserver, Protocol):
     """An observer that also follows the engine's barrier structure.
 

@@ -1,0 +1,86 @@
+"""Backend dispatcher: the cost model that picks python vs numpy.
+
+The dispatcher mirrors the paper's direction-optimization rule in shape —
+one work estimate against one calibrated threshold — so these tests pin
+its decision table rather than timings (timings live in
+``benchmarks/BENCH_kernels.json``).
+"""
+
+import pytest
+
+import repro
+from repro.core.driver import choose_engine, ms_bfs_graft
+from repro.core.options import DISPATCH_WORK_THRESHOLD, DispatchDecision
+from repro.errors import ReproError
+from repro.graph.generators import chain_graph, random_bipartite
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    # work = nnz + n_x + n_y = 120 + 60 << threshold
+    return random_bipartite(30, 30, 120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    # work = 9000 + 3000 >> threshold
+    return random_bipartite(1500, 1500, 9000, seed=3)
+
+
+class TestChooseEngine:
+    def test_small_graph_uses_python(self, small_graph):
+        decision = choose_engine(small_graph, emit_trace=False)
+        assert decision.engine == "python"
+        assert decision.work == small_graph.nnz + 60
+        assert decision.work < decision.threshold == DISPATCH_WORK_THRESHOLD
+
+    def test_large_graph_uses_numpy(self, large_graph):
+        decision = choose_engine(large_graph, emit_trace=False)
+        assert decision.engine == "numpy"
+        assert decision.work >= decision.threshold
+
+    def test_trace_request_forces_numpy(self, small_graph):
+        # Only the vectorized backend emits WorkTraces; auto must honour that
+        # even when the cost model would prefer python.
+        decision = choose_engine(small_graph, emit_trace=True)
+        assert decision.engine == "numpy"
+        assert "trace" in decision.reason
+
+    def test_threshold_is_overridable(self, small_graph, large_graph):
+        assert choose_engine(small_graph, emit_trace=False, threshold=1).engine == "numpy"
+        assert (
+            choose_engine(large_graph, emit_trace=False, threshold=10**9).engine
+            == "python"
+        )
+
+    def test_decision_is_a_frozen_record(self, small_graph):
+        decision = choose_engine(small_graph, emit_trace=False)
+        assert isinstance(decision, DispatchDecision)
+        with pytest.raises(AttributeError):
+            decision.engine = "numpy"
+        assert decision.reason  # human-readable, never empty
+
+
+class TestAutoDispatchEndToEnd:
+    def test_auto_matches_explicit_engines(self, small_graph, large_graph):
+        for graph in (small_graph, large_graph):
+            auto = ms_bfs_graft(graph, engine="auto", emit_trace=False)
+            assert (
+                auto.cardinality
+                == ms_bfs_graft(graph, engine="python", emit_trace=False).cardinality
+                == ms_bfs_graft(graph, engine="numpy", emit_trace=False).cardinality
+            )
+
+    def test_auto_with_trace_emits_trace(self, small_graph):
+        result = ms_bfs_graft(small_graph, engine="auto", emit_trace=True)
+        assert result.trace is not None
+
+    def test_auto_is_the_default(self):
+        # chain_graph(3) is far below the threshold; the default engine must
+        # still solve it exactly (dispatch is a perf decision, not semantic).
+        result = repro.ms_bfs_graft(chain_graph(3))
+        assert result.cardinality == 3
+
+    def test_unknown_engine_rejected(self, small_graph):
+        with pytest.raises(ReproError, match="unknown engine"):
+            ms_bfs_graft(small_graph, engine="fortran")

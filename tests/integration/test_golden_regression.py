@@ -39,6 +39,34 @@ class TestGraftGolden:
         c = result.counters
         assert (c.edges_traversed, c.phases, c.bfs_levels) == (645, 2, 3)
 
+    def test_surplus_frontier_trajectory_python(self, surplus_case):
+        """Per-phase frontier sizes, serial reference engine.
+
+        The python engine stops expanding a level as soon as augmenting
+        paths exist (early break), so its phase-1 trajectory is shorter
+        than numpy's below.
+        """
+        graph, init = surplus_case
+        result = repro.ms_bfs_graft(
+            graph, init, engine="python", record_frontiers=True
+        )
+        assert result.counters.phases == 2
+        assert result.frontier_log.phases == [[181, 290], []]
+
+    def test_surplus_frontier_trajectory_numpy(self, surplus_case):
+        """Per-phase frontier sizes, vectorized engine.
+
+        Bulk level expansion runs every level to exhaustion before
+        augmenting (parallel semantics), so phase 1 records a third
+        level the serial engine never visits.
+        """
+        graph, init = surplus_case
+        result = repro.ms_bfs_graft(
+            graph, init, engine="numpy", record_frontiers=True
+        )
+        assert result.counters.phases == 2
+        assert result.frontier_log.phases == [[181, 275, 22], []]
+
     def test_rmat_serial_ks(self):
         graph = rmat_bipartite(scale=9, edge_factor=6, seed=42)
         init = karp_sipser(graph, seed=7).matching

@@ -13,7 +13,9 @@ from hypothesis import strategies as st
 from repro.core.driver import ms_bfs_graft
 from repro.graph.builder import from_edges
 from repro.graph.csr import INDEX_DTYPE
-from repro.graph.generators import random_bipartite
+from repro.graph.generators import power_law_bipartite, random_bipartite
+from repro.graph.permute import permute
+from repro.matching.verify import verify_maximum
 
 
 def maximum(graph) -> int:
@@ -87,6 +89,52 @@ class TestVertexProperties:
     def test_transpose_invariance(self, n, seed):
         graph = random_bipartite(n, n + 3, 3 * n, seed=seed)
         assert maximum(graph) == maximum(graph.transpose())
+
+
+class TestPermutationInvariance:
+    """Relabelling vertices must not change the maximum — per backend.
+
+    The vectorized kernels resolve write conflicts by frontier position
+    (first-claim scatter), so vertex numbering changes *which* maximum
+    matching they find; the cardinality and the maximality certificate must
+    be invariant anyway. This is the metamorphic guard for the numpy bulk
+    kernels: an indexing bug that silently favours low vertex ids shows up
+    as a permutation-dependent cardinality.
+    """
+
+    @given(n=st.integers(3, 16), seed=st.integers(0, 200), pseed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_numpy_backend_row_permutation(self, n, seed, pseed):
+        graph = random_bipartite(n, n + 1, 3 * n, seed=seed)
+        shuffled, _, _ = permute(
+            graph, y_perm=np.arange(graph.n_y, dtype=INDEX_DTYPE), seed=pseed
+        )
+        a = ms_bfs_graft(graph, engine="numpy", emit_trace=False)
+        b = ms_bfs_graft(shuffled, engine="numpy", emit_trace=False)
+        assert a.cardinality == b.cardinality
+        verify_maximum(shuffled, b.matching)
+
+    @given(n=st.integers(3, 16), seed=st.integers(0, 200), pseed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_numpy_backend_column_permutation(self, n, seed, pseed):
+        graph = random_bipartite(n + 1, n, 3 * n, seed=seed)
+        shuffled, _, _ = permute(
+            graph, x_perm=np.arange(graph.n_x, dtype=INDEX_DTYPE), seed=pseed
+        )
+        a = ms_bfs_graft(graph, engine="numpy", emit_trace=False)
+        b = ms_bfs_graft(shuffled, engine="numpy", emit_trace=False)
+        assert a.cardinality == b.cardinality
+        verify_maximum(shuffled, b.matching)
+
+    @given(n=st.integers(3, 14), seed=st.integers(0, 200), pseed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_full_relabel_backends_agree(self, n, seed, pseed):
+        """Both-sides relabel; python and numpy agree before AND after."""
+        graph = power_law_bipartite(n, n, avg_degree=3.0, seed=seed)
+        shuffled, _, _ = permute(graph, seed=pseed)
+        numpy_card = ms_bfs_graft(shuffled, engine="numpy", emit_trace=False).cardinality
+        python_card = ms_bfs_graft(shuffled, engine="python", emit_trace=False).cardinality
+        assert numpy_card == python_card == maximum(graph)
 
 
 class TestDualityBounds:
