@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.core.driver import ms_bfs_graft
+from repro.core.options import Deadline
 from repro.errors import BenchmarkError
 from repro.graph.csr import BipartiteCSR
 from repro.matching.base import MatchResult, Matching
@@ -62,6 +63,8 @@ def run_algorithm(
     init: str = "karp-sipser-parallel",
     seed: int = 0,
     engine: str | None = None,
+    deadline: Deadline | None = None,
+    phase_hook=None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
@@ -69,16 +72,25 @@ def run_algorithm(
     ``init`` selects the initialiser when ``initial`` is not given:
     ``"karp-sipser-parallel"`` (the suite default), ``"karp-sipser"``
     (serial), or ``"none"`` (empty matching). ``engine`` overrides the
-    MS-BFS-Graft backend dispatcher (only valid for the driver-backed
-    algorithms in :data:`ENGINE_AWARE`).
+    MS-BFS-Graft backend dispatcher, ``deadline`` is the cooperative soft
+    timeout, and ``phase_hook`` a per-phase callback; all three apply only
+    to the driver-backed algorithms in :data:`ENGINE_AWARE` — the batch
+    service threads its deadlines and fault hooks through here.
     """
     fn = ALGORITHMS.get(name)
     if fn is None:
         raise BenchmarkError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
-    if engine is not None and name not in ENGINE_AWARE:
+    driver_kwargs = {}
+    if engine is not None:
+        driver_kwargs["engine"] = engine
+    if deadline is not None:
+        driver_kwargs["deadline"] = deadline
+    if phase_hook is not None:
+        driver_kwargs["phase_hook"] = phase_hook
+    if driver_kwargs and name not in ENGINE_AWARE:
         raise BenchmarkError(
             f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "
-            f"--engine applies only to {ENGINE_AWARE}"
+            f"{sorted(driver_kwargs)} apply only to {ENGINE_AWARE}"
         )
     if initial is None:
         if init == "karp-sipser-parallel":
@@ -87,9 +99,7 @@ def run_algorithm(
             initial = karp_sipser(graph, seed=seed).matching
         elif init != "none":
             raise BenchmarkError(f"unknown initialiser {init!r}")
-    if engine is not None:
-        return fn(graph, initial, engine=engine)
-    return fn(graph, initial)
+    return fn(graph, initial, **driver_kwargs)
 
 
 def simulated_seconds(

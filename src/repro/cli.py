@@ -19,7 +19,7 @@ from typing import Callable, Dict
 
 from repro.bench import experiments
 from repro.bench.runner import ALGORITHMS, run_algorithm
-from repro.bench.suite import build_suite, get_suite_graph, suite_specs
+from repro.bench.suite import get_suite_graph, suite_specs
 from repro.graph.io import read_matrix_market
 from repro.matching.verify import verify_maximum
 
@@ -85,39 +85,84 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _read_graph_file(path: str, fmt: str):
-    """Load a graph file by format name (mtx, snap, dimacs, or auto)."""
+    """Load a graph file by format name; returns ``(graph, labels-or-None)``.
+
+    SNAP edge lists compact sparse vertex ids, so for them the original-id
+    label arrays come back too (see
+    :class:`repro.graph.readers.LabelledGraph`) and ``repro-match match``
+    reports matched pairs in the file's own ids.
+    """
     from repro.graph.readers import read_dimacs, read_snap_edgelist
 
-    readers = {"mtx": read_matrix_market, "snap": read_snap_edgelist,
-               "dimacs": read_dimacs}
     if fmt == "auto":
         suffix = path.rsplit(".", 1)[-1].lower()
         fmt = {"mtx": "mtx", "gr": "dimacs", "dimacs": "dimacs",
                "txt": "snap", "snap": "snap", "edges": "snap"}.get(suffix, "mtx")
-    return readers[fmt](path)
+    if fmt == "snap":
+        labelled = read_snap_edgelist(path, return_labels=True)
+        return labelled.graph, labelled
+    readers = {"mtx": read_matrix_market, "dimacs": read_dimacs}
+    return readers[fmt](path), None
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    graph = _read_graph_file(args.path, args.format)
+    graph, labels = _read_graph_file(args.path, args.format)
     result = run_algorithm(args.algorithm, graph, seed=args.seed, engine=args.engine)
     verify_maximum(graph, result.matching)
     print(f"{args.path}: n_rows={graph.n_x:,} n_cols={graph.n_y:,} nnz={graph.nnz:,}")
     print(f"maximum matching (structural rank): {result.cardinality:,}")
     print(f"algorithm {result.algorithm}: {result.counters.edges_traversed:,} edges, "
           f"{result.counters.phases} phases, {result.wall_seconds:.3f}s")
+    if labels is not None:
+        pairs = result.matching.pairs()
+        shown = ", ".join(
+            f"({labels.x_ids[x]}, {labels.y_ids[y]})" for x, y in pairs[:args.show_pairs]
+        )
+        suffix = ", ..." if len(pairs) > args.show_pairs else ""
+        print(f"original ids : compacted from {labels.x_ids.size:,} source / "
+              f"{labels.y_ids.size:,} target ids in the file")
+        if shown:
+            print(f"matched pairs: {shown}{suffix} (file ids)")
     return 0
 
 
 def _cmd_report_all(args: argparse.Namespace) -> int:
-    """Run every experiment and write one consolidated report file."""
+    """Run every experiment and write one consolidated report file.
+
+    With ``--run-dir`` each experiment's rendered report is checkpointed
+    through the batch service's stage cache, so a crashed or interrupted
+    ``report-all`` resumes where it stopped instead of recomputing every
+    figure (events land in the run directory's ``events.jsonl``).
+    """
+    run_dir = None
+    if args.run_dir:
+        from repro.service.checkpoint import RunDirectory
+
+        run_dir = RunDirectory(args.run_dir)
     lines = []
+    reused = 0
     for name, fn in _EXPERIMENTS.items():
+        key = f"scale={args.scale}"
+        text = run_dir.cached_report(name, key) if run_dir is not None else None
+        if text is None:
+            text = fn(args.scale).render()
+            if run_dir is not None:
+                from repro.service.events import JOB_DONE, EventLog
+
+                run_dir.record_report(name, key, text)
+                with EventLog(run_dir.events_path) as log:
+                    log.emit(JOB_DONE, f"report:{name}", stage="report-all")
+        else:
+            reused += 1
         lines.append("=" * 78)
         lines.append(name)
         lines.append("=" * 78)
-        lines.append(fn(args.scale).render())
+        lines.append(text)
         lines.append("")
     text = "\n".join(lines)
+    if run_dir is not None and reused:
+        print(f"resumed {reused}/{len(_EXPERIMENTS)} experiment reports from {args.run_dir}",
+              file=sys.stderr)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -125,6 +170,48 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a fault-tolerant batch of matching jobs with checkpoint/resume."""
+    from repro.instrument.report import batch_report
+    from repro.service import (
+        BatchExecutor,
+        RetryPolicy,
+        load_jobs_file,
+        parse_faults,
+        read_events,
+        suite_jobs,
+        summarize_events,
+    )
+
+    if args.jobs:
+        jobs = load_jobs_file(args.jobs)
+    else:
+        jobs = suite_jobs(
+            algorithm=args.algorithm,
+            scale=args.scale,
+            graphs=args.graphs,
+            engine=args.engine,
+            seed=args.seed,
+            deadline_seconds=args.deadline,
+        )
+    executor = BatchExecutor(
+        args.run_dir,
+        retry=RetryPolicy(max_attempts=args.retries, base_delay=args.backoff),
+        faults=parse_faults(args.inject or []),
+        default_deadline=args.deadline,
+    )
+    outcomes = executor.run_batch(jobs)
+    events = read_events(executor.run_dir.events_path)
+    print(batch_report(outcomes, summarize_events(events)))
+    print(f"run directory: {executor.run_dir.root} "
+          f"(events.jsonl, manifest.json, checkpoints/)")
+    if all(o.succeeded for o in outcomes):
+        return 0
+    print("some jobs did not complete; re-run with the same --run-dir to "
+          "resume the completed ones from checkpoints", file=sys.stderr)
+    return 1
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -311,12 +398,50 @@ def build_parser() -> argparse.ArgumentParser:
                               "family only)")
     p_match.add_argument("--format", choices=["auto", "mtx", "snap", "dimacs"],
                          default="auto")
+    p_match.add_argument("--show-pairs", type=int, default=5,
+                         help="matched pairs to echo in the file's original "
+                              "vertex ids (SNAP inputs only)")
     p_match.set_defaults(fn=_cmd_match)
 
     p_rep = sub.add_parser("report-all", help="run every experiment into one report")
     p_rep.add_argument("--scale", type=float, default=0.2)
     p_rep.add_argument("--out", default=None)
+    p_rep.add_argument("--run-dir", default=None,
+                       help="checkpoint each experiment's report here so an "
+                            "interrupted report-all resumes instead of recomputing")
     p_rep.set_defaults(fn=_cmd_report_all)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="fault-tolerant batch of matching jobs (deadlines, retries, "
+             "checkpoint/resume)",
+    )
+    p_batch.add_argument("--run-dir", required=True,
+                         help="run directory (manifest, events.jsonl, checkpoints); "
+                              "re-running with the same directory resumes it")
+    p_batch.add_argument("--jobs", default=None,
+                         help="JSON job-queue file (list of job specs); default: "
+                              "the Table II suite as one job per graph")
+    p_batch.add_argument("--graphs", nargs="+", default=None, choices=suite_specs(),
+                         help="subset of suite graphs (ignored with --jobs)")
+    p_batch.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                         default="ms-bfs-graft")
+    p_batch.add_argument("--scale", type=float, default=0.2)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+                         default=None)
+    p_batch.add_argument("--deadline", type=float, default=None,
+                         help="per-job soft deadline in seconds (checked at "
+                              "engine phase boundaries)")
+    p_batch.add_argument("--retries", type=int, default=3,
+                         help="max attempts per engine before degrading/failing")
+    p_batch.add_argument("--backoff", type=float, default=0.05,
+                         help="base retry backoff in seconds (exponential + jitter)")
+    p_batch.add_argument("--inject", nargs="+", default=None,
+                         metavar="FAULT[:VALUE]",
+                         help="deterministic fault injection: flaky-engine[:k], "
+                              "slow-phase[:seconds]")
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_gen = sub.add_parser("generate", help="write a suite graph to .mtx or .npz")
     p_gen.add_argument("--graph", choices=suite_specs(), default="rmat")

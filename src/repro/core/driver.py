@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.core.engine_interleaved import run_interleaved
 from repro.core.engine_numpy import run_numpy
 from repro.core.engine_python import run_python
-from repro.core.options import DISPATCH_WORK_THRESHOLD, DispatchDecision, GraftOptions
+from repro.core.options import (
+    DISPATCH_WORK_THRESHOLD,
+    Deadline,
+    DispatchDecision,
+    GraftOptions,
+)
 from repro.errors import ReproError
 from repro.graph.csr import BipartiteCSR
 from repro.matching.base import MatchResult, Matching
@@ -73,6 +80,8 @@ def ms_bfs_graft(
     record_frontiers: bool = False,
     emit_trace: bool = True,
     check_invariants: bool = False,
+    deadline: Deadline | None = None,
+    phase_hook: Optional[Callable[[int], None]] = None,
     threads: int = 4,
     seed: SeedLike = 0,
 ) -> MatchResult:
@@ -112,6 +121,15 @@ def ms_bfs_graft(
         steers ``"auto"`` towards numpy).
     check_invariants:
         Assert forest invariants each phase (slow; for tests).
+    deadline:
+        Cooperative soft timeout (:class:`~repro.core.options.Deadline`);
+        every engine checks it at phase boundaries and raises
+        :class:`~repro.errors.DeadlineExceeded` on expiry. The batch
+        service (:mod:`repro.service`) uses this to keep stuck jobs from
+        hanging a whole suite.
+    phase_hook:
+        Called with the phase number at each phase start (progress
+        reporting / fault injection).
     threads, seed:
         Interleaved engine: simulated thread count and schedule seed.
 
@@ -129,6 +147,8 @@ def ms_bfs_graft(
         record_frontiers=record_frontiers,
         emit_trace=emit_trace,
         check_invariants=check_invariants,
+        deadline=deadline,
+        phase_hook=phase_hook,
     )
     if engine == "auto":
         engine = choose_engine(graph, emit_trace=emit_trace).engine

@@ -182,6 +182,7 @@ def run_interleaved(
 
     while True:
         counters.phases += 1
+        options.begin_phase(counters.phases)
         if max_phases is not None and counters.phases > max_phases:
             raise ReproError(
                 f"phase limit {max_phases} exceeded; the run is not converging "

@@ -66,6 +66,7 @@ def run_numpy(
 
     while True:
         counters.phases += 1
+        options.begin_phase(counters.phases)
         if frontier_log is not None:
             frontier_log.start_phase()
 

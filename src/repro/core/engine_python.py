@@ -114,6 +114,7 @@ def run_python(
 
     while True:
         counters.phases += 1
+        options.begin_phase(counters.phases)
         if frontier_log is not None:
             frontier_log.start_phase()
 

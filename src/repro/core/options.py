@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
 
 DISPATCH_WORK_THRESHOLD = 4096
 """Crossover point of the backend cost model (see :func:`repro.core.driver.choose_engine`).
@@ -19,6 +21,52 @@ is below this threshold. The value is calibrated on ER bipartite graphs
 (``random_bipartite(n, n, 4n)``): the measured python/numpy runtime ratio
 crosses 1.0 between work ≈ 2,400 (ratio 0.5) and work ≈ 4,800 (ratio 1.0);
 ``docs/performance.md`` records the calibration table."""
+
+
+class Deadline:
+    """Cooperative soft deadline for one engine run.
+
+    The engines call :meth:`check` at every phase boundary and raise
+    :class:`~repro.errors.DeadlineExceeded` once the budget is spent. Soft
+    by design: a phase in flight always completes, so the matching state is
+    never torn down mid-kernel — the paper's phase loop is the natural
+    preemption point, exactly like its direction-switch decision.
+
+    ``clock`` is injectable (default :func:`time.monotonic`) so the batch
+    service's fault injection and the tests can expire deadlines
+    deterministically without real waiting.
+    """
+
+    __slots__ = ("seconds", "_clock", "_start")
+
+    def __init__(self, seconds: float, *, clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds <= 0:
+            raise ReproError(f"deadline must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() < 0
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        elapsed = self.elapsed()
+        if elapsed - self.seconds > 0:
+            where = f" at {context}" if context else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds:.3f}s exceeded{where} "
+                f"({elapsed:.3f}s elapsed)"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.seconds}s, {self.remaining():.3f}s remaining)"
 
 
 @dataclass(frozen=True)
@@ -63,6 +111,21 @@ class GraftOptions:
     emit_trace: bool = True
     check_invariants: bool = False
     """Run forest invariant assertions every phase (slow; tests only)."""
+    deadline: Optional[Deadline] = field(default=None, compare=False)
+    """Cooperative soft timeout, checked at every phase boundary.
+
+    When set, the engines raise :class:`~repro.errors.DeadlineExceeded` at
+    the first phase boundary past expiry. ``None`` (the default) runs to
+    completion. Excluded from equality: two option sets describing the same
+    algorithm configuration stay equal regardless of runtime budget.
+    """
+    phase_hook: Optional[Callable[[int], None]] = field(default=None, compare=False)
+    """Called with the 1-based phase number at the start of every phase.
+
+    The batch service's ``slow-phase`` fault injection hangs off this hook;
+    it is also a convenient progress callback. Runs *after* the deadline
+    check, so an injected delay is charged to the phase it slows down.
+    """
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -71,6 +134,19 @@ class GraftOptions:
             raise ReproError(
                 f"direction_strategy must be 'vertex' or 'edge', got {self.direction_strategy!r}"
             )
+
+    def begin_phase(self, phase: int) -> None:
+        """Phase-boundary bookkeeping, shared by all engines.
+
+        Checks the deadline first (raising
+        :class:`~repro.errors.DeadlineExceeded` if the budget is spent),
+        then runs the phase hook. Engines call this once per phase, right
+        after incrementing the phase counter.
+        """
+        if self.deadline is not None:
+            self.deadline.check(context=f"phase {phase}")
+        if self.phase_hook is not None:
+            self.phase_hook(phase)
 
     @property
     def algorithm_name(self) -> str:

@@ -32,7 +32,7 @@ from repro.graph.generators import (
     crown_graph,
 )
 from repro.graph.io import read_matrix_market, write_matrix_market
-from repro.graph.readers import read_snap_edgelist, read_dimacs
+from repro.graph.readers import LabelledGraph, read_snap_edgelist, read_dimacs
 from repro.graph.serialize import load_graph, save_graph
 from repro.graph.components import (
     ComponentLabels,
@@ -66,6 +66,7 @@ __all__ = [
     "crown_graph",
     "read_matrix_market",
     "write_matrix_market",
+    "LabelledGraph",
     "read_snap_edgelist",
     "read_dimacs",
     "load_graph",

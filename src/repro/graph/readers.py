@@ -16,7 +16,7 @@ readers let users point the library at those files directly:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TextIO, Union
+from typing import NamedTuple, TextIO, Union
 
 import numpy as np
 
@@ -25,19 +25,40 @@ from repro.graph.builder import _from_edge_arrays
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
 
 
+class LabelledGraph(NamedTuple):
+    """A compacted bipartite graph plus its original vertex labels.
+
+    ``x_ids[i]`` / ``y_ids[j]`` are the file's ids for compacted vertex
+    ``i`` of X / ``j`` of Y, so a matched pair ``(x, mate_x[x])`` maps back
+    to the on-disk edge ``(x_ids[x], y_ids[mate_x[x]])``.
+    """
+
+    graph: BipartiteCSR
+    x_ids: np.ndarray
+    y_ids: np.ndarray
+
+
 def read_snap_edgelist(
-    source: Union[str, Path, TextIO], *, comment: str = "#"
-) -> BipartiteCSR:
+    source: Union[str, Path, TextIO],
+    *,
+    comment: str = "#",
+    return_labels: bool = False,
+) -> Union[BipartiteCSR, LabelledGraph]:
     """Read a SNAP-style edge list as a bipartite graph.
 
     Each non-comment line holds a source and a target id (any further
     columns are ignored). Ids may be sparse and unordered; both sides are
     compacted independently, so a directed graph's rows become X and its
     targets Y — the standard bipartite view of a nonsymmetric matrix.
+
+    With ``return_labels=True`` the original ids survive compaction: the
+    result is a :class:`LabelledGraph` carrying the per-side label arrays,
+    so matchings computed on the compacted graph can be reported in the
+    file's own vertex ids (``repro-match match`` does exactly that).
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as fh:
-            return read_snap_edgelist(fh, comment=comment)
+            return read_snap_edgelist(fh, comment=comment, return_labels=return_labels)
     src_ids: list[int] = []
     dst_ids: list[int] = []
     for lineno, line in enumerate(source, 1):
@@ -53,20 +74,25 @@ def read_snap_edgelist(
         except ValueError as exc:
             raise GraphFormatError(f"line {lineno}: non-integer vertex id") from exc
     if not src_ids:
-        return _from_edge_arrays(
+        graph = _from_edge_arrays(
             0, 0, np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=INDEX_DTYPE),
             validate=False,
         )
+        empty_ids = np.empty(0, dtype=np.int64)
+        return LabelledGraph(graph, empty_ids, empty_ids) if return_labels else graph
     src = np.asarray(src_ids, dtype=np.int64)
     dst = np.asarray(dst_ids, dtype=np.int64)
     if src.min() < 0 or dst.min() < 0:
         raise GraphFormatError("negative vertex ids are not supported")
     x_vals, xs = np.unique(src, return_inverse=True)
     y_vals, ys = np.unique(dst, return_inverse=True)
-    return _from_edge_arrays(
+    graph = _from_edge_arrays(
         int(x_vals.size), int(y_vals.size),
         xs.astype(INDEX_DTYPE), ys.astype(INDEX_DTYPE), validate=False,
     )
+    if return_labels:
+        return LabelledGraph(graph, x_vals, y_vals)
+    return graph
 
 
 def read_dimacs(source: Union[str, Path, TextIO]) -> BipartiteCSR:
@@ -75,6 +101,10 @@ def read_dimacs(source: Union[str, Path, TextIO]) -> BipartiteCSR:
     Vertices are 1-based in the file. The (possibly directed) graph is
     returned as its bipartite adjacency view: X = sources, Y = targets,
     both sized ``n``.
+
+    Node-descriptor lines (``n <id> s|t`` in the max-flow format, ``n <id>``
+    in the assignment format) are legal records that carry no adjacency
+    information; they are validated for range and skipped.
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as fh:
@@ -109,6 +139,19 @@ def read_dimacs(source: Union[str, Path, TextIO]) -> BipartiteCSR:
                 raise GraphFormatError(f"line {lineno}: endpoint out of range 1..{n}")
             xs.append(u - 1)
             ys.append(v - 1)
+        elif parts[0] == "n":
+            # Max-flow/assignment node descriptors designate sources and
+            # sinks; matching only needs the adjacency, so validate + skip.
+            if n is None:
+                raise GraphFormatError(f"line {lineno}: node descriptor before problem line")
+            if len(parts) < 2:
+                raise GraphFormatError(f"line {lineno}: malformed node descriptor")
+            try:
+                node_id = int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: non-integer node id") from exc
+            if not 1 <= node_id <= n:
+                raise GraphFormatError(f"line {lineno}: node id out of range 1..{n}")
         else:
             raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")
     if n is None:

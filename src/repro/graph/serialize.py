@@ -4,10 +4,16 @@ MatrixMarket (``repro.graph.io``) is the interchange format; this module is
 the fast path for caching suite graphs and checkpointing matchings between
 experiment runs. The file carries a format tag and version so stale caches
 fail loudly instead of mis-deserialising.
+
+Writes are atomic (temp file + :func:`os.replace` in the target directory):
+the batch service checkpoints matchings through this module, and a crash
+mid-write must leave either the old file or the new one, never a torn
+half-checkpoint that a resume would then fail to load.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Union
 
@@ -22,9 +28,28 @@ _MATCHING_FORMAT = "repro-matching"
 _VERSION = 1
 
 
+def _atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> None:
+    """``np.savez_compressed`` with write-then-rename atomicity.
+
+    Mirrors numpy's path handling (a missing ``.npz`` suffix is appended)
+    so callers see identical final filenames.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def save_graph(graph: BipartiteCSR, path: Union[str, Path]) -> None:
-    """Write a graph to ``path`` (``.npz``)."""
-    np.savez_compressed(
+    """Write a graph to ``path`` (``.npz``); atomic against crashes."""
+    _atomic_savez(
         path,
         format=np.array(_FORMAT),
         version=np.array(_VERSION),
@@ -53,8 +78,8 @@ def load_graph(path: Union[str, Path]) -> BipartiteCSR:
 
 
 def save_matching(matching: Matching, path: Union[str, Path]) -> None:
-    """Write a matching to ``path`` (``.npz``)."""
-    np.savez_compressed(
+    """Write a matching to ``path`` (``.npz``); atomic against crashes."""
+    _atomic_savez(
         path,
         format=np.array(_MATCHING_FORMAT),
         version=np.array(_VERSION),

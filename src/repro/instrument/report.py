@@ -4,13 +4,15 @@ Collects everything a :class:`~repro.matching.base.MatchResult` knows —
 cardinality, the paper's Fig. 1 counters, the wall-clock step breakdown,
 and (when a work trace exists) simulated parallel times on a machine — into
 one formatted block. Used by ``repro-match run --report`` and handy in
-notebooks.
+notebooks. :func:`batch_report` renders the batch service's per-job
+summary table the same way.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
+from repro.bench.report import format_table
 from repro.matching.base import MatchResult
 from repro.parallel.cost_model import CostModel
 from repro.parallel.machine import MIRASOL, MachineSpec
@@ -61,4 +63,46 @@ def run_report(
                 f"{k} {v:.0%}" for k, v in sorted(fractions.items(), key=lambda kv: -kv[1])
             )
             lines.append(f"simulated shares : {parts}")
+    return "\n".join(lines)
+
+
+def batch_report(
+    outcomes: Sequence[object],
+    event_counts: Optional[Dict[str, int]] = None,
+) -> str:
+    """Summary table of a batch service run (``repro-match batch``).
+
+    ``outcomes`` are :class:`~repro.service.jobs.JobOutcome` records; the
+    optional ``event_counts`` histogram (from
+    :func:`repro.service.events.summarize_events`) is appended so the
+    table and the event log tell one story.
+    """
+    rows = []
+    for o in outcomes:
+        rows.append([
+            o.spec.job_id,
+            o.status,
+            o.spec.algorithm,
+            o.engine_used if o.engine_used is not None else "native",
+            o.attempts,
+            "yes" if o.degraded else "",
+            o.cardinality if o.cardinality is not None else "-",
+            (o.error or "")[:48],
+        ])
+    lines = [format_table(
+        ["job", "status", "algorithm", "engine", "attempts", "degraded", "|M|", "error"],
+        rows,
+        title="batch summary",
+    )]
+    succeeded = sum(1 for o in outcomes if o.status in ("done", "resumed"))
+    resumed = sum(1 for o in outcomes if o.status == "resumed")
+    lines.append(
+        f"{succeeded}/{len(outcomes)} jobs succeeded "
+        f"({resumed} resumed from checkpoint, "
+        f"{sum(1 for o in outcomes if o.status == 'timeout')} timed out, "
+        f"{sum(1 for o in outcomes if o.status == 'failed')} failed)"
+    )
+    if event_counts:
+        parts = ", ".join(f"{name} x{n}" for name, n in sorted(event_counts.items()))
+        lines.append(f"events: {parts}")
     return "\n".join(lines)

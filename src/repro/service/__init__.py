@@ -1,0 +1,54 @@
+"""Fault-tolerant batch job-execution service for matching workloads.
+
+The paper's whole evaluation (the Table II suite, Figs. 1-8) is a batch of
+long-running matching jobs; at production scale such a batch must survive a
+hung instance, a flaky backend, or a killed process. This package runs a
+queue of :class:`~repro.service.jobs.JobSpec` requests under per-job
+cooperative deadlines, retries transient failures with exponential backoff
+and jitter, degrades gracefully from the ``numpy`` engine to the ``python``
+reference engine, checkpoints every certified matching through
+:mod:`repro.graph.serialize`, and resumes an interrupted run without
+recomputing completed jobs. ``repro-match batch`` is the CLI front end;
+``docs/service.md`` documents the job model, the JSONL event schema, and
+the failure semantics.
+"""
+
+from repro.core.options import Deadline
+from repro.errors import DeadlineExceeded, ServiceError, TransientEngineError
+from repro.service.checkpoint import RunDirectory
+from repro.service.events import EventLog, read_events, summarize_events
+from repro.service.executor import BatchExecutor, ManualClock, SystemClock
+from repro.service.faults import KNOWN_FAULTS, FaultInjector, FaultPlan, parse_faults
+from repro.service.jobs import (
+    JobOutcome,
+    JobSpec,
+    load_jobs_file,
+    resolve_graph,
+    suite_jobs,
+)
+from repro.service.retry import RetryPolicy, classify_failure
+
+__all__ = [
+    "BatchExecutor",
+    "Deadline",
+    "DeadlineExceeded",
+    "EventLog",
+    "FaultInjector",
+    "FaultPlan",
+    "JobOutcome",
+    "JobSpec",
+    "KNOWN_FAULTS",
+    "ManualClock",
+    "RetryPolicy",
+    "RunDirectory",
+    "ServiceError",
+    "SystemClock",
+    "TransientEngineError",
+    "classify_failure",
+    "load_jobs_file",
+    "parse_faults",
+    "read_events",
+    "resolve_graph",
+    "suite_jobs",
+    "summarize_events",
+]

@@ -1,0 +1,123 @@
+"""Structured JSON-lines event log of a batch run.
+
+One line per event, append-only, flushed per event so a crash loses at most
+the event being written. Schema (``docs/service.md`` has the full table):
+
+.. code-block:: json
+
+    {"seq": 7, "ts": 1722873600.1, "event": "job_retried",
+     "job": "rmat-ms-bfs-graft", "attempt": 1, "engine": "numpy",
+     "delay_seconds": 0.061, "error": "injected flaky-engine fault ..."}
+
+``seq`` is monotonically increasing across resumes of the same run
+directory (the log is re-opened in append mode), so the full history of an
+interrupted-then-resumed batch reads as one ordered stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+from repro.errors import ServiceError
+
+BATCH_STARTED = "batch_started"
+BATCH_DONE = "batch_done"
+JOB_QUEUED = "job_queued"
+JOB_STARTED = "job_started"
+JOB_RETRIED = "job_retried"
+JOB_DEGRADED = "job_degraded"
+JOB_CHECKPOINTED = "job_checkpointed"
+JOB_DONE = "job_done"
+JOB_RESUMED = "job_resumed"
+JOB_TIMEOUT = "job_timeout"
+JOB_FAILED = "job_failed"
+
+EVENT_NAMES = frozenset({
+    BATCH_STARTED, BATCH_DONE, JOB_QUEUED, JOB_STARTED, JOB_RETRIED,
+    JOB_DEGRADED, JOB_CHECKPOINTED, JOB_DONE, JOB_RESUMED, JOB_TIMEOUT,
+    JOB_FAILED,
+})
+
+
+class EventLog:
+    """Append-only JSONL writer for service events.
+
+    ``clock`` stamps wall time (injectable for deterministic tests). The
+    writer is also usable as a context manager.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], *, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._seq = _last_seq(self.path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, job: str | None = None, **fields: Any) -> Dict[str, Any]:
+        """Write one event line; returns the record as written."""
+        if event not in EVENT_NAMES:
+            raise ServiceError(f"unknown event {event!r}; known: {sorted(EVENT_NAMES)}")
+        self._seq += 1
+        record: Dict[str, Any] = {"seq": self._seq, "ts": round(self._clock(), 6),
+                                  "event": event}
+        if job is not None:
+            record["job"] = job
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _last_seq(path: Path) -> int:
+    if not path.exists():
+        return 0
+    last = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                try:
+                    last = int(json.loads(line).get("seq", last))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    continue  # torn tail line from a crash; seq restarts above it
+    return last
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read an event log back; tolerates one torn (crashed) trailing line."""
+    events: List[Dict[str, Any]] = []
+    path = Path(path)
+    if not path.exists():
+        return events
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a mid-write crash: drop it
+            raise ServiceError(f"{path}:{i + 1}: corrupt event line")
+    return events
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Event-name histogram of a run (the CLI prints it under the table)."""
+    return dict(Counter(e.get("event", "?") for e in events))

@@ -1,0 +1,63 @@
+"""Retry policy: exponential backoff with jitter, and failure taxonomy.
+
+The service distinguishes three failure classes, each with its own
+handling (see ``docs/service.md``):
+
+* **transient** (:class:`~repro.errors.TransientEngineError`) — retried on
+  the same engine with exponential backoff + jitter, up to
+  ``max_attempts``;
+* **deadline** (:class:`~repro.errors.DeadlineExceeded`) — terminal for the
+  job; retrying a job against the same budget would time out again, so the
+  job is reported ``timeout`` immediately;
+* **permanent** (anything else) — not retried on the same engine, but
+  eligible for *degradation*: a job running on the fast ``numpy`` backend
+  (or ``auto`` dispatch) falls back to the ``python`` reference engine,
+  trading speed for robustness, before the job is declared failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeadlineExceeded, ServiceError, TransientEngineError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * multiplier**(attempt-1)``, capped at
+    ``max_delay``, stretched by up to ``jitter`` (uniform) to decorrelate
+    retry storms across jobs."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ServiceError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ServiceError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay before retrying after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ServiceError(f"attempt numbers are 1-based, got {attempt}")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"transient"`` | ``"deadline"`` | ``"permanent"`` for an engine failure."""
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, TransientEngineError):
+        return "transient"
+    return "permanent"

@@ -27,9 +27,18 @@ def stddev(values: Sequence[float]) -> float:
 
 
 def coefficient_of_variation(values: Sequence[float]) -> float:
-    """``100 * sigma / mu`` — the paper's parallel sensitivity psi."""
+    """``100 * sigma / mu`` — the paper's parallel sensitivity psi.
+
+    An all-zero sample has zero dispersion, so its psi is 0.0 (a degenerate
+    timing column must not abort a whole sensitivity report). A mean of
+    zero from *mixed-sign* values still raises: dispersion is real there
+    and psi genuinely undefined.
+    """
+    values = list(values)
     mu = mean(values)
     if mu == 0:
+        if all(v == 0 for v in values):
+            return 0.0
         raise ValueError("coefficient of variation undefined for zero mean")
     return 100.0 * stddev(values) / mu
 

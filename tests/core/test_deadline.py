@@ -1,0 +1,97 @@
+"""Cooperative deadline + phase-hook threading through the engines."""
+
+import pytest
+
+from repro.core.driver import ms_bfs_graft
+from repro.core.options import Deadline, GraftOptions
+from repro.errors import DeadlineExceeded, ReproError
+from repro.graph.generators import random_bipartite
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_not_expired_initially(self):
+        clock = FakeClock()
+        d = Deadline(5.0, clock=clock)
+        assert not d.expired()
+        assert d.remaining() == pytest.approx(5.0)
+        d.check()  # no raise
+
+    def test_expires_with_clock(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.now = 1.5
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded):
+            d.check("phase 3")
+
+    def test_message_names_context(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.now = 2.0
+        with pytest.raises(DeadlineExceeded, match="phase 3"):
+            d.check("phase 3")
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ReproError):
+            Deadline(0.0)
+
+
+@pytest.mark.parametrize("engine", ["python", "numpy", "interleaved"])
+class TestEngineDeadlines:
+    def test_generous_deadline_completes(self, engine):
+        g = random_bipartite(40, 40, 160, seed=1)
+        result = ms_bfs_graft(g, engine=engine, deadline=Deadline(3600.0),
+                              emit_trace=False)
+        reference = ms_bfs_graft(g, engine="python", emit_trace=False)
+        assert result.cardinality == reference.cardinality
+
+    def test_expired_deadline_raises_at_phase_boundary(self, engine):
+        g = random_bipartite(60, 60, 240, seed=2)
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.now = 2.0  # already over budget: first phase boundary trips
+        with pytest.raises(DeadlineExceeded):
+            ms_bfs_graft(g, engine=engine, deadline=deadline, emit_trace=False)
+
+    def test_phase_hook_sees_every_phase(self, engine):
+        g = random_bipartite(60, 60, 180, seed=3)
+        phases = []
+        result = ms_bfs_graft(g, engine=engine, phase_hook=phases.append,
+                              emit_trace=False)
+        assert phases == list(range(1, result.counters.phases + 1))
+
+    def test_hook_induced_expiry(self, engine):
+        # A slow-phase hook burning fake time makes the deadline fire
+        # deterministically partway through the run.
+        g = random_bipartite(80, 80, 320, seed=4)
+        clock = FakeClock()
+
+        def slow_phase(phase):
+            clock.now += 1.0
+
+        baseline = ms_bfs_graft(g, engine=engine, emit_trace=False)
+        if baseline.counters.phases < 2:
+            pytest.skip("instance converges in one phase; no boundary to trip")
+        with pytest.raises(DeadlineExceeded):
+            ms_bfs_graft(
+                g,
+                engine=engine,
+                deadline=Deadline(1.5, clock=clock),
+                phase_hook=slow_phase,
+                emit_trace=False,
+            )
+
+
+class TestOptionsEquality:
+    def test_deadline_excluded_from_equality(self):
+        a = GraftOptions(deadline=Deadline(1.0))
+        b = GraftOptions(deadline=None)
+        assert a == b

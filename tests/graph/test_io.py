@@ -110,3 +110,37 @@ class TestWriteRoundtrip:
         buf = io.StringIO()
         write_matrix_market(from_edges(1, 1, [(0, 0)]), buf)
         assert buf.getvalue().startswith("%%MatrixMarket matrix coordinate pattern general")
+
+
+class TestStreamingWriter:
+    """Regression: the writer used to buffer the whole edge list in one
+    StringIO (a second in-memory copy of the file) before a single write."""
+
+    class _CountingTarget:
+        def __init__(self):
+            self.writes = []
+
+        def write(self, text):
+            self.writes.append(text)
+
+    def test_edge_body_written_in_chunks(self):
+        g = random_bipartite(30, 30, 120, seed=7)
+        target = self._CountingTarget()
+        write_matrix_market(g, target, chunk_edges=16)
+        # 3 header writes + ceil(nnz / 16) body chunks, never one big blob.
+        body_writes = target.writes[3:]
+        assert len(body_writes) == -(-g.nnz // 16)
+        assert all(len(w.splitlines()) <= 16 for w in body_writes)
+        assert read_str("".join(target.writes)) == g
+
+    def test_chunk_size_does_not_change_output(self):
+        g = random_bipartite(12, 9, 40, seed=8)
+        small, large = io.StringIO(), io.StringIO()
+        write_matrix_market(g, small, chunk_edges=1)
+        write_matrix_market(g, large, chunk_edges=10_000)
+        assert small.getvalue() == large.getvalue()
+
+    def test_rejects_nonpositive_chunk(self):
+        g = random_bipartite(3, 3, 4, seed=9)
+        with pytest.raises(GraphFormatError):
+            write_matrix_market(g, io.StringIO(), chunk_edges=0)

@@ -92,6 +92,75 @@ class TestDimacsReader:
         g = dimacs("p sp 4 0\n")
         assert g.n_x == 4 and g.nnz == 0
 
+    def test_node_descriptor_lines_skipped(self):
+        # Regression: legal DIMACS max-flow files carry `n <id> <s|t>`
+        # node-descriptor lines; the reader used to raise on them.
+        g = dimacs("p max 4 2\nn 1 s\nn 4 t\na 1 2\na 2 3\n")
+        assert g.n_x == 4 and g.nnz == 2
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_assignment_node_descriptor_without_label(self):
+        g = dimacs("p asn 3 1\nn 1\na 1 2\n")
+        assert g.nnz == 1
+
+    def test_node_descriptor_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("p max 3 0\nn 9 s\n")
+
+    def test_node_descriptor_before_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("n 1 s\np max 3 0\n")
+
+    def test_node_descriptor_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            dimacs("p max 3 0\nn x s\n")
+
+
+class TestSnapLabels:
+    def test_labels_map_back_to_file_ids(self):
+        from repro.graph.readers import read_snap_edgelist
+
+        # Regression: the original->compacted id mapping used to be
+        # discarded, so matchings could not be reported in file ids.
+        labelled = read_snap_edgelist(
+            io.StringIO("100 201\n100 202\n300 201\n"), return_labels=True
+        )
+        g = labelled.graph
+        assert list(labelled.x_ids) == [100, 300]
+        assert list(labelled.y_ids) == [201, 202]
+        # Every compacted edge corresponds to an input line's id pair.
+        original = {(labelled.x_ids[x], labelled.y_ids[y]) for x, y in g.edges()}
+        assert original == {(100, 201), (100, 202), (300, 201)}
+
+    def test_labelled_matching_roundtrip(self):
+        from repro.core.driver import ms_bfs_graft
+        from repro.graph.readers import read_snap_edgelist
+        from repro.matching.verify import verify_maximum
+
+        labelled = read_snap_edgelist(
+            io.StringIO("10 7\n10 8\n20 7\n30 9\n"), return_labels=True
+        )
+        result = ms_bfs_graft(labelled.graph, emit_trace=False)
+        verify_maximum(labelled.graph, result.matching)
+        pairs = {
+            (int(labelled.x_ids[x]), int(labelled.y_ids[y]))
+            for x, y in result.matching.pairs()
+        }
+        assert len(pairs) == 3
+        assert pairs <= {(10, 7), (10, 8), (20, 7), (30, 9)}
+
+    def test_default_return_unchanged(self):
+        g = snap("1 2\n")
+        # Without return_labels the reader still returns a bare graph.
+        assert g.nnz == 1
+
+    def test_empty_with_labels(self):
+        from repro.graph.readers import read_snap_edgelist
+
+        labelled = read_snap_edgelist(io.StringIO("# empty\n"), return_labels=True)
+        assert labelled.graph.n_x == 0
+        assert labelled.x_ids.size == 0 and labelled.y_ids.size == 0
+
 
 class TestParserFuzzing:
     """Arbitrary text must either parse or raise GraphFormatError — never

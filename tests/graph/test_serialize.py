@@ -55,3 +55,24 @@ class TestMatchingRoundtrip:
         save_graph(g, path)
         with pytest.raises(GraphFormatError):
             load_matching(path)
+
+
+class TestAtomicWrites:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        g = random_bipartite(10, 10, 30, seed=5)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["g.npz"]
+
+    def test_overwrite_keeps_readable_file(self, tmp_path):
+        path = tmp_path / "m.npz"
+        m1 = greedy_matching(random_bipartite(8, 8, 20, seed=6)).matching
+        save_matching(m1, path)
+        m2 = greedy_matching(random_bipartite(8, 8, 20, seed=7)).matching
+        save_matching(m2, path)
+        assert load_matching(path) == m2
+
+    def test_suffix_appended_like_numpy(self, tmp_path):
+        g = random_bipartite(5, 5, 12, seed=8)
+        save_graph(g, tmp_path / "graph")
+        assert load_graph(tmp_path / "graph.npz") == g

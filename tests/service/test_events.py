@@ -1,0 +1,87 @@
+"""Event log: sequencing, resume continuity, torn-tail tolerance."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.events import (
+    EVENT_NAMES,
+    JOB_DONE,
+    JOB_STARTED,
+    EventLog,
+    read_events,
+    summarize_events,
+)
+
+
+class FakeWall:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestEventLog:
+    def test_sequential_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, clock=FakeWall()) as log:
+            log.emit(JOB_STARTED, "j1", attempt=1)
+            log.emit(JOB_DONE, "j1", cardinality=5)
+        events = read_events(path)
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[0]["event"] == JOB_STARTED
+        assert events[0]["job"] == "j1"
+        assert events[1]["cardinality"] == 5
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        # A resumed batch appends to the same log; the combined history
+        # must read as one monotonically-sequenced stream.
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(JOB_STARTED, "j1", attempt=1)
+        with EventLog(path) as log:
+            log.emit(JOB_DONE, "j1")
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_unknown_event_rejected(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            with pytest.raises(ServiceError, match="unknown event"):
+                log.emit("job_vanished")
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(JOB_STARTED, "j1", attempt=1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "event": "job_do')  # crash mid-write
+        events = read_events(path)
+        assert len(events) == 1
+        # And a reopened log does not reuse the torn line's would-be seq
+        # in a way that goes backwards.
+        with EventLog(path) as log:
+            rec = log.emit(JOB_DONE, "j1")
+        assert rec["seq"] >= 2
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps({"seq": 1, "event": JOB_STARTED}), "garbage",
+                 json.dumps({"seq": 2, "event": JOB_DONE})]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServiceError, match="corrupt"):
+            read_events(path)
+
+
+class TestSummaries:
+    def test_histogram(self):
+        events = [{"event": JOB_STARTED}, {"event": JOB_STARTED},
+                  {"event": JOB_DONE}]
+        assert summarize_events(events) == {JOB_STARTED: 2, JOB_DONE: 1}
+
+    def test_event_names_cover_constants(self):
+        assert JOB_STARTED in EVENT_NAMES and JOB_DONE in EVENT_NAMES

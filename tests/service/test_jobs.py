@@ -1,0 +1,161 @@
+"""JobSpec validation, digests, queue files, and graph resolution."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    JobSpec,
+    load_jobs_file,
+    resolve_graph,
+    suite_jobs,
+)
+
+SUITE = {"suite": "rmat", "scale": 0.05}
+
+
+class TestJobSpecValidation:
+    def test_minimal(self):
+        spec = JobSpec(job_id="j1", graph=SUITE)
+        assert spec.algorithm == "ms-bfs-graft"
+        assert spec.engine_aware
+
+    def test_rejects_slash_in_id(self):
+        with pytest.raises(ServiceError, match="slash-free"):
+            JobSpec(job_id="a/b", graph=SUITE)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ServiceError):
+            JobSpec(job_id="", graph=SUITE)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ServiceError, match="unknown algorithm"):
+            JobSpec(job_id="j", graph=SUITE, algorithm="simplex")
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ServiceError, match="unknown engine"):
+            JobSpec(job_id="j", graph=SUITE, engine="fortran")
+
+    def test_rejects_engine_on_engine_unaware_algorithm(self):
+        with pytest.raises(ServiceError, match="does not"):
+            JobSpec(job_id="j", graph=SUITE, algorithm="hopcroft-karp",
+                    engine="numpy")
+
+    def test_graph_needs_exactly_one_source(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(job_id="j", graph={})
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(job_id="j", graph={"suite": "rmat", "path": "x.mtx"})
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ServiceError, match="positive"):
+            JobSpec(job_id="j", graph=SUITE, deadline_seconds=0)
+
+
+class TestDigest:
+    def test_stable(self):
+        a = JobSpec(job_id="j", graph=SUITE, seed=3)
+        b = JobSpec(job_id="j", graph=dict(SUITE), seed=3)
+        assert a.digest() == b.digest()
+
+    def test_sensitive_to_graph_and_seed(self):
+        base = JobSpec(job_id="j", graph=SUITE)
+        assert base.digest() != JobSpec(job_id="j", graph=SUITE, seed=1).digest()
+        assert base.digest() != JobSpec(
+            job_id="j", graph={"suite": "rmat", "scale": 0.1}
+        ).digest()
+
+    def test_deadline_does_not_invalidate_checkpoints(self):
+        # Tightening a deadline must not force recomputation of jobs that
+        # already completed — the digest covers only *what* is computed.
+        a = JobSpec(job_id="j", graph=SUITE, deadline_seconds=1.0)
+        b = JobSpec(job_id="j", graph=SUITE, deadline_seconds=9.0)
+        assert a.digest() == b.digest()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = JobSpec(job_id="j", graph=SUITE, engine="numpy", seed=7,
+                       deadline_seconds=2.5)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job spec field"):
+            JobSpec.from_dict({"job_id": "j", "graph": SUITE, "threads": 4})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ServiceError):
+            JobSpec.from_dict({"job_id": "j"})
+
+
+class TestJobsFile:
+    def test_list_form(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"job_id": "a", "graph": SUITE},
+            {"job_id": "b", "graph": SUITE, "algorithm": "hopcroft-karp"},
+        ]))
+        jobs = load_jobs_file(path)
+        assert [j.job_id for j in jobs] == ["a", "b"]
+
+    def test_wrapped_form(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": [{"job_id": "a", "graph": SUITE}]}))
+        assert len(load_jobs_file(path)) == 1
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"job_id": "a", "graph": SUITE},
+            {"job_id": "a", "graph": SUITE},
+        ]))
+        with pytest.raises(ServiceError, match="duplicate"):
+            load_jobs_file(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("{nope")
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            load_jobs_file(path)
+
+
+class TestSuiteJobs:
+    def test_one_job_per_graph(self):
+        jobs = suite_jobs(graphs=["rmat", "road-like"], scale=0.05)
+        assert [j.job_id for j in jobs] == [
+            "rmat-ms-bfs-graft", "road-like-ms-bfs-graft",
+        ]
+        assert all(j.graph == {"suite": j.job_id.split("-ms-")[0], "scale": 0.05}
+                   for j in jobs)
+
+    def test_defaults_to_full_suite(self):
+        from repro.bench.suite import suite_specs
+
+        assert len(suite_jobs(scale=0.05)) == len(suite_specs())
+
+
+class TestResolveGraph:
+    def test_suite_source_is_deterministic(self):
+        spec = JobSpec(job_id="j", graph=SUITE)
+        g1 = resolve_graph(spec)
+        g2 = resolve_graph(spec)
+        assert g1.n_x == g2.n_x and g1.nnz == g2.nnz
+
+    def test_file_source(self, tmp_path):
+        from repro.graph.generators import random_bipartite
+        from repro.graph.io import write_matrix_market
+
+        g = random_bipartite(10, 10, 30, seed=0)
+        path = tmp_path / "g.mtx"
+        with open(path, "w", encoding="utf-8") as fh:
+            write_matrix_market(g, fh)
+        spec = JobSpec(job_id="j", graph={"path": str(path)})
+        loaded = resolve_graph(spec)
+        assert loaded.nnz == g.nnz
+
+    def test_unknown_format(self, tmp_path):
+        spec = JobSpec(job_id="j",
+                       graph={"path": str(tmp_path / "g.bin"), "format": "bin"})
+        with pytest.raises(ServiceError, match="unknown graph format"):
+            resolve_graph(spec)

@@ -1,0 +1,112 @@
+"""Retry policy math, failure taxonomy, and fault-injection plumbing."""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    GraphFormatError,
+    ServiceError,
+    TransientEngineError,
+)
+from repro.service.faults import FaultInjector, FaultPlan, parse_faults
+from repro.service.retry import RetryPolicy, classify_failure
+from repro.util.rng import as_rng
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        p = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        rng = as_rng(0)
+        assert p.backoff_seconds(1, rng) == pytest.approx(0.1)
+        assert p.backoff_seconds(2, rng) == pytest.approx(0.2)
+        assert p.backoff_seconds(3, rng) == pytest.approx(0.4)
+
+    def test_cap_at_max_delay(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0)
+        assert p.backoff_seconds(5, as_rng(0)) == pytest.approx(2.0)
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = as_rng(42)
+        for attempt in range(1, 20):
+            delay = p.backoff_seconds(1, rng)
+            assert 1.0 <= delay <= 1.5
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy().backoff_seconds(0, as_rng(0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ServiceError):
+            RetryPolicy(**kwargs)
+
+
+class TestClassifyFailure:
+    def test_taxonomy(self):
+        assert classify_failure(TransientEngineError("x")) == "transient"
+        assert classify_failure(DeadlineExceeded("x")) == "deadline"
+        assert classify_failure(GraphFormatError("x")) == "permanent"
+        assert classify_failure(ValueError("x")) == "permanent"
+
+
+class TestParseFaults:
+    def test_empty(self):
+        plan = parse_faults([])
+        assert plan == FaultPlan() and not plan.active
+
+    def test_defaults(self):
+        assert parse_faults(["flaky-engine"]).flaky_failures == 1
+        assert parse_faults(["slow-phase"]).slow_phase_seconds == pytest.approx(0.05)
+
+    def test_explicit_values(self):
+        plan = parse_faults(["flaky-engine:3", "slow-phase:0.2"])
+        assert plan.flaky_failures == 3
+        assert plan.slow_phase_seconds == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("spec", [
+        "flaky-engine:zero", "flaky-engine:0", "slow-phase:-1",
+        "slow-phase:soon", "cosmic-ray",
+    ])
+    def test_bad_specs(self, spec):
+        with pytest.raises(ServiceError):
+            parse_faults([spec])
+
+
+class TestFaultInjector:
+    def test_flaky_fires_k_times_per_job_engine(self):
+        inj = FaultInjector(FaultPlan(flaky_failures=2))
+        for _ in range(2):
+            with pytest.raises(TransientEngineError):
+                inj.before_attempt("j1", "numpy")
+        inj.before_attempt("j1", "numpy")  # third attempt succeeds
+
+    def test_counts_are_per_job(self):
+        inj = FaultInjector(FaultPlan(flaky_failures=1))
+        with pytest.raises(TransientEngineError):
+            inj.before_attempt("j1", "numpy")
+        with pytest.raises(TransientEngineError):
+            inj.before_attempt("j2", "numpy")
+
+    def test_python_engine_immune(self):
+        # The python reference engine is the degradation target; the fault
+        # must never fire there or degradation could not succeed.
+        inj = FaultInjector(FaultPlan(flaky_failures=99))
+        inj.before_attempt("j1", "python")
+
+    def test_slow_phase_burns_clock(self):
+        burned = []
+        inj = FaultInjector(FaultPlan(slow_phase_seconds=0.25), sleep=burned.append)
+        inj.phase_hook(1)
+        inj.phase_hook(2)
+        assert burned == [0.25, 0.25]
+
+    def test_inactive_plan_is_inert(self):
+        inj = FaultInjector(FaultPlan(), sleep=lambda s: pytest.fail("slept"))
+        inj.before_attempt("j", "numpy")
+        inj.phase_hook(1)

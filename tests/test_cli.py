@@ -136,3 +136,80 @@ class TestAnalysisCommands:
         assert main(["racecheck", "--graph", "rmat", "--scale", "0.05",
                      "--seeds", "1"]) == 0
         assert "seed" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_then_resume(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        argv = ["batch", "--run-dir", run_dir, "--graphs", "rmat",
+                "--scale", "0.05"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "batch summary" in first
+        assert "1/1 jobs succeeded" in first
+        assert "(0 resumed from checkpoint" in first
+
+        # Second invocation resumes from the checkpoint: zero recomputation.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        assert "(1 resumed from checkpoint" in second
+
+    def test_batch_with_fault_injection(self, tmp_path, capsys):
+        assert main(["batch", "--run-dir", str(tmp_path / "run"),
+                     "--graphs", "rmat", "--scale", "0.05",
+                     "--engine", "numpy", "--backoff", "0.01",
+                     "--inject", "flaky-engine:1"]) == 0
+        out = capsys.readouterr().out
+        assert "job_retried x1" in out
+        assert "1/1 jobs succeeded" in out
+
+    def test_batch_degradation_path(self, tmp_path, capsys):
+        assert main(["batch", "--run-dir", str(tmp_path / "run"),
+                     "--graphs", "rmat", "--scale", "0.05",
+                     "--engine", "numpy", "--retries", "2",
+                     "--backoff", "0.01", "--inject", "flaky-engine:2"]) == 0
+        out = capsys.readouterr().out
+        assert "job_degraded x1" in out
+
+    def test_batch_jobs_file(self, tmp_path, capsys):
+        import json
+
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(json.dumps([
+            {"job_id": "small", "graph": {"suite": "rmat", "scale": 0.05}},
+        ]))
+        assert main(["batch", "--run-dir", str(tmp_path / "run"),
+                     "--jobs", str(jobs_path)]) == 0
+        assert "small" in capsys.readouterr().out
+
+    def test_batch_failure_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(json.dumps([
+            {"job_id": "ghost", "graph": {"path": str(tmp_path / "no.mtx")}},
+        ]))
+        assert main(["batch", "--run-dir", str(tmp_path / "run"),
+                     "--jobs", str(jobs_path)]) == 1
+        captured = capsys.readouterr()
+        assert "failed" in captured.out
+        assert "resume" in captured.err
+
+    def test_match_shows_original_snap_ids(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        path.write_text("100 202\n300 201\n305 203\n")
+        assert main(["match", str(path), "--format", "snap"]) == 0
+        out = capsys.readouterr().out
+        assert "file ids" in out
+        assert "100" in out and "202" in out
+
+    def test_report_all_resumes_from_run_dir(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "reports")
+        assert main(["report-all", "--scale", "0.05",
+                     "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["report-all", "--scale", "0.05",
+                     "--run-dir", run_dir]) == 0
+        captured = capsys.readouterr()
+        assert "resumed 16/16" in captured.err

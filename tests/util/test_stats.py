@@ -1,5 +1,3 @@
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -39,6 +37,18 @@ class TestCoefficientOfVariation:
 
     def test_no_variation(self):
         assert coefficient_of_variation([2, 2, 2]) == 0.0
+
+    def test_all_zero_sample_is_degenerate_not_an_error(self):
+        # Regression: an all-zero timing column has zero dispersion (psi=0);
+        # it used to raise and abort a whole sensitivity report.
+        assert coefficient_of_variation([0.0, 0.0, 0.0]) == 0.0
+
+    def test_single_zero(self):
+        assert coefficient_of_variation([0]) == 0.0
+
+    def test_mixed_sign_zero_mean_still_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-2.0, 1.0, 1.0])
 
 
 class TestGeometricMean:
