@@ -9,6 +9,7 @@ gains on low-matching-number graphs (12x on wikipedia, 10x on web-Google).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -27,7 +28,11 @@ class Fig4Row:
 
     @property
     def ratio(self) -> float:
-        return self.graft_mteps / self.pf_mteps if self.pf_mteps else float("inf")
+        if math.isinf(self.graft_mteps) and math.isinf(self.pf_mteps):
+            return 1.0  # both rates saturated the timer: call it even
+        if not self.pf_mteps or math.isinf(self.graft_mteps):
+            return float("inf")
+        return self.graft_mteps / self.pf_mteps
 
 
 @dataclass(frozen=True)

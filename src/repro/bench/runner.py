@@ -65,6 +65,7 @@ def run_algorithm(
     engine: str | None = None,
     deadline: Deadline | None = None,
     phase_hook=None,
+    telemetry=None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
@@ -73,9 +74,10 @@ def run_algorithm(
     ``"karp-sipser-parallel"`` (the suite default), ``"karp-sipser"``
     (serial), or ``"none"`` (empty matching). ``engine`` overrides the
     MS-BFS-Graft backend dispatcher, ``deadline`` is the cooperative soft
-    timeout, and ``phase_hook`` a per-phase callback; all three apply only
-    to the driver-backed algorithms in :data:`ENGINE_AWARE` — the batch
-    service threads its deadlines and fault hooks through here.
+    timeout, ``phase_hook`` a per-phase callback, and ``telemetry`` a
+    :class:`repro.telemetry.Telemetry` session; all four apply only to the
+    driver-backed algorithms in :data:`ENGINE_AWARE` — the batch service
+    threads its deadlines, fault hooks, and telemetry through here.
     """
     fn = ALGORITHMS.get(name)
     if fn is None:
@@ -87,6 +89,8 @@ def run_algorithm(
         driver_kwargs["deadline"] = deadline
     if phase_hook is not None:
         driver_kwargs["phase_hook"] = phase_hook
+    if telemetry is not None:
+        driver_kwargs["telemetry"] = telemetry
     if driver_kwargs and name not in ENGINE_AWARE:
         raise BenchmarkError(
             f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "

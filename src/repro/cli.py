@@ -43,15 +43,35 @@ _EXPERIMENTS: Dict[str, Callable[[float], object]] = {
 }
 
 
+def _machine_registry():
+    from repro.parallel import machine as m
+
+    return {"mirasol": m.MIRASOL, "edison": m.EDISON,
+            "laptop": m.LAPTOP, "manycore": m.MANYCORE}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    telemetry = None
+    if args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     sg = get_suite_graph(args.graph, scale=args.scale)
-    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed, engine=args.engine)
+    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed,
+                           engine=args.engine, telemetry=telemetry)
     verify_maximum(sg.graph, result.matching)
+    if telemetry is not None:
+        from repro.telemetry import write_prometheus
+
+        write_prometheus(telemetry.metrics, args.metrics_out)
+        print(f"metrics      : wrote {args.metrics_out} (Prometheus text format)",
+              file=sys.stderr)
     if args.report:
         from repro.instrument.report import run_report
 
         print(f"graph        : {args.graph} ({sg.paper_counterpart})")
-        print(run_report(result))
+        print(run_report(result, machine=_machine_registry()[args.machine],
+                         threads=args.threads))
         return 0
     c = result.counters
     print(f"graph        : {args.graph} ({sg.paper_counterpart}); n={sg.graph.num_vertices:,} m={sg.graph.num_directed_edges:,}")
@@ -196,13 +216,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             seed=args.seed,
             deadline_seconds=args.deadline,
         )
+    telemetry = None
+    if args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     executor = BatchExecutor(
         args.run_dir,
         retry=RetryPolicy(max_attempts=args.retries, base_delay=args.backoff),
         faults=parse_faults(args.inject or []),
         default_deadline=args.deadline,
+        telemetry=telemetry,
+        progress=lambda line: print(line, file=sys.stderr),
     )
     outcomes = executor.run_batch(jobs)
+    if telemetry is not None:
+        from repro.service.events import EventLog
+        from repro.telemetry import export_jsonl, write_prometheus
+
+        write_prometheus(telemetry.metrics, args.metrics_out)
+        with EventLog(executor.run_dir.events_path) as log:
+            export_jsonl(log, telemetry.tracer, telemetry.metrics)
+        print(f"metrics: wrote {args.metrics_out}; telemetry spans appended to "
+              f"events.jsonl", file=sys.stderr)
     events = read_events(executor.run_dir.events_path)
     print(batch_report(outcomes, summarize_events(events)))
     print(f"run directory: {executor.run_dir.root} "
@@ -288,6 +324,68 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         write_kernel_bench(doc, args.out)
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one algorithm with full telemetry and write a Chrome trace."""
+    from repro.telemetry import Telemetry, write_chrome_trace, write_prometheus
+
+    sg = get_suite_graph(args.graph, scale=args.scale)
+    telemetry = Telemetry()
+    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed,
+                           engine=args.engine, telemetry=telemetry)
+    verify_maximum(sg.graph, result.matching)
+    out = args.out or f"{args.graph}.trace.json"
+    write_chrome_trace(
+        telemetry.tracer, out,
+        metadata={"graph": args.graph, "scale": args.scale,
+                  "algorithm": result.algorithm,
+                  "cardinality": int(result.cardinality)},
+    )
+    coverage = telemetry.tracer.coverage()
+    spans = [s for s in telemetry.tracer.spans if not s.open]
+    print(f"graph    : {args.graph} (scale {args.scale}); "
+          f"n={sg.graph.num_vertices:,} m={sg.graph.num_directed_edges:,}")
+    print(f"|M|      : {result.cardinality:,} (maximum, certified)")
+    print(f"trace    : {out} ({len(spans)} spans; open in "
+          f"https://ui.perfetto.dev or chrome://tracing)")
+    print(f"coverage : {coverage:.1%} of the run span is covered by "
+          f"phase/setup spans")
+    if args.metrics_out:
+        write_prometheus(telemetry.metrics, args.metrics_out)
+        print(f"metrics  : {args.metrics_out} (Prometheus text format)")
+    if args.jsonl_out:
+        from repro.telemetry import write_telemetry_jsonl
+
+        n = write_telemetry_jsonl(args.jsonl_out, telemetry.tracer, telemetry.metrics)
+        print(f"jsonl    : {args.jsonl_out} ({n} records, EventLog-compatible)")
+    if coverage < args.min_coverage:
+        print(f"trace coverage {coverage:.1%} below the required "
+              f"{args.min_coverage:.1%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    """Compare a fresh kernel-bench run against the committed baseline."""
+    from repro.bench.perf_check import parse_tolerance, run_perf_check
+
+    tolerance = parse_tolerance(args.tolerance)
+    fresh = None
+    if args.fresh:
+        from repro.bench.kernels_bench import load_kernel_bench
+
+        fresh = load_kernel_bench(args.fresh)
+    report = run_perf_check(
+        args.baseline,
+        tolerance=tolerance,
+        scale=args.scale,
+        repeats=args.repeats,
+        graphs=args.graphs,
+        fresh=fresh,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -377,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "family only; default: cost-model auto-dispatch)")
     p_run.add_argument("--report", action="store_true",
                        help="print the full instrumented run report")
+    p_run.add_argument("--machine", choices=["mirasol", "edison", "laptop", "manycore"],
+                       default="mirasol",
+                       help="simulated machine for the --report cost model "
+                            "(default: the paper's Mirasol)")
+    p_run.add_argument("--threads", type=int, default=40,
+                       help="simulated thread count for the --report cost "
+                            "model (default: 40, the paper's Mirasol runs)")
+    p_run.add_argument("--metrics-out", default=None,
+                       help="write run metrics here in Prometheus text "
+                            "exposition format")
     p_run.set_defaults(fn=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="print the Table II suite report")
@@ -441,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FAULT[:VALUE]",
                          help="deterministic fault injection: flaky-engine[:k], "
                               "slow-phase[:seconds]")
+    p_batch.add_argument("--metrics-out", default=None,
+                         help="write batch metrics (job/retry/degradation "
+                              "counters + engine metrics) here in Prometheus "
+                              "text format; also appends telemetry spans to "
+                              "the run directory's events.jsonl")
     p_batch.set_defaults(fn=_cmd_batch)
 
     p_gen = sub.add_parser("generate", help="write a suite graph to .mtx or .npz")
@@ -476,6 +589,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the validated JSON document here "
                            "(e.g. benchmarks/BENCH_kernels.json)")
     p_bk.set_defaults(fn=_cmd_bench_kernels)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run with telemetry and write a chrome://tracing / Perfetto trace",
+    )
+    p_trace.add_argument("graph", choices=suite_specs(),
+                         help="suite graph to trace")
+    p_trace.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                         default="ms-bfs-graft")
+    p_trace.add_argument("--scale", type=float, default=0.3)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+                         default=None)
+    p_trace.add_argument("--out", default=None,
+                         help="trace path (default: <graph>.trace.json)")
+    p_trace.add_argument("--metrics-out", default=None,
+                         help="also write metrics in Prometheus text format")
+    p_trace.add_argument("--jsonl-out", default=None,
+                         help="also write spans+metrics as EventLog-compatible JSONL")
+    p_trace.add_argument("--min-coverage", type=float, default=0.0,
+                         help="fail (exit 1) if phase/setup spans cover less "
+                              "than this fraction of the run span (e.g. 0.95)")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_pc = sub.add_parser(
+        "perf-check",
+        help="regression gate: fresh kernel-bench vs the committed baseline",
+    )
+    p_pc.add_argument("--baseline", default="benchmarks/BENCH_kernels.json",
+                      help="committed baseline document to compare against")
+    p_pc.add_argument("--tolerance", default="5x",
+                      help="allowed per-edge slowdown factor, e.g. '5x' or '2.5' "
+                           "(generous by default: the gate catches "
+                           "order-of-magnitude regressions, not noise)")
+    p_pc.add_argument("--scale", type=float, default=0.05,
+                      help="scale of the fresh timing run (per-edge "
+                           "normalisation makes scales comparable)")
+    p_pc.add_argument("--repeats", type=int, default=1)
+    p_pc.add_argument("--graphs", nargs="+", default=None,
+                      choices=["rmat", "er", "skewed"],
+                      help="subset of bench inputs to re-time")
+    p_pc.add_argument("--fresh", default=None,
+                      help="compare this pre-recorded benchmark document "
+                           "instead of re-timing (passing the baseline itself "
+                           "must exit 0)")
+    p_pc.set_defaults(fn=_cmd_perf_check)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint rules (REP001-REP003)")
     p_lint.add_argument("paths", nargs="*",

@@ -82,6 +82,7 @@ def ms_bfs_graft(
     check_invariants: bool = False,
     deadline: Deadline | None = None,
     phase_hook: Optional[Callable[[int], None]] = None,
+    telemetry=None,
     threads: int = 4,
     seed: SeedLike = 0,
 ) -> MatchResult:
@@ -130,6 +131,11 @@ def ms_bfs_graft(
     phase_hook:
         Called with the phase number at each phase start (progress
         reporting / fault injection).
+    telemetry:
+        Telemetry session (:class:`repro.telemetry.Telemetry`). When set,
+        the run emits a span tree (``run`` → ``phase`` → step spans) and
+        fills the session's metrics registry (frontier sizes, visited
+        claims, grafts vs rebuilds, ...); see ``docs/observability.md``.
     threads, seed:
         Interleaved engine: simulated thread count and schedule seed.
 
@@ -149,6 +155,7 @@ def ms_bfs_graft(
         check_invariants=check_invariants,
         deadline=deadline,
         phase_hook=phase_hook,
+        telemetry=telemetry,
     )
     if engine == "auto":
         engine = choose_engine(graph, emit_trace=emit_trace).engine

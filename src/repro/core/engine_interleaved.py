@@ -38,6 +38,7 @@ from repro.matching.base import UNMATCHED, MatchResult, Matching, init_matching
 from repro.parallel.atomics import AtomicArray
 from repro.parallel.shared import RegionMonitor, SharedArray
 from repro.parallel.simulator import InterleavedSimulator, SimThreadState
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.rng import SeedLike
 
 NON_ATOMIC_VISITED = "non-atomic-visited"
@@ -74,30 +75,69 @@ def run_interleaved(
             f"unknown fault injection(s) {sorted(unknown)}; known: {sorted(KNOWN_FAULTS)}"
         )
     start = time.perf_counter()
-    matching = init_matching(graph, initial)
-    counters = Counters()
-    state = ForestState.for_graph(graph)
-    x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
-    mate_x = matching.mate_x
-    mate_y = matching.mate_y
-    parent, root_x, root_y, leaf = state.parent, state.root_x, state.root_y, state.leaf
-    # Shared-state views for the item programs. Serial code between regions
-    # keeps using the raw arrays; programs go through these wrappers so the
-    # monitor sees every access.
-    visited = AtomicArray(state.visited, name="visited", observer=monitor)
-    sh_parent = SharedArray(parent, "parent", monitor)
-    sh_root_x = SharedArray(root_x, "root_x", monitor)
-    sh_root_y = SharedArray(root_y, "root_y", monitor)
-    sh_leaf = SharedArray(leaf, "leaf", monitor)
-    sh_mate_y = SharedArray(mate_y, "mate_y", monitor)
-    sim = InterleavedSimulator(threads, seed, faults=faults)
-    if monitor is not None:
-        monitor.bind(sim=sim, graph=graph, state=state, matching=matching)
-    alpha = options.alpha
-    edges = 0
-    deg_x = np.diff(graph.x_ptr)
-    deg_y = np.diff(graph.y_ptr)
-    path_bound = 2 * (graph.n_x + graph.n_y) + 1
+    tel = options.telemetry if options.telemetry is not None else NULL_TELEMETRY
+    with tel.run_span("interleaved", algorithm=options.algorithm_name, graph=graph):
+        return _run_interleaved(
+            graph,
+            initial,
+            options,
+            tel,
+            start,
+            threads=threads,
+            seed=seed,
+            monitor=monitor,
+            faults=faults,
+            max_phases=max_phases,
+        )
+
+
+def _run_interleaved(
+    graph: BipartiteCSR,
+    initial: Matching | None,
+    options: GraftOptions,
+    tel,
+    start: float,
+    *,
+    threads: int,
+    seed: SeedLike,
+    monitor: Optional[RegionMonitor],
+    faults: frozenset,
+    max_phases: Optional[int],
+) -> MatchResult:
+    with tel.step("setup"):
+        matching = init_matching(graph, initial)
+        counters = Counters()
+        state = ForestState.for_graph(graph)
+        x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
+        mate_x = matching.mate_x
+        mate_y = matching.mate_y
+        parent, root_x, root_y, leaf = (
+            state.parent,
+            state.root_x,
+            state.root_y,
+            state.leaf,
+        )
+        # Shared-state views for the item programs. Serial code between
+        # regions keeps using the raw arrays; programs go through these
+        # wrappers so the monitor sees every access.
+        visited = AtomicArray(state.visited, name="visited", observer=monitor)
+        sh_parent = SharedArray(parent, "parent", monitor)
+        sh_root_x = SharedArray(root_x, "root_x", monitor)
+        sh_root_y = SharedArray(root_y, "root_y", monitor)
+        sh_leaf = SharedArray(leaf, "leaf", monitor)
+        sh_mate_y = SharedArray(mate_y, "mate_y", monitor)
+        sim = InterleavedSimulator(threads, seed, faults=faults)
+        if monitor is not None:
+            monitor.bind(sim=sim, graph=graph, state=state, matching=matching)
+        alpha = options.alpha
+        edges = 0
+        deg_x = np.diff(graph.x_ptr)
+        deg_y = np.diff(graph.y_ptr)
+        path_bound = 2 * (graph.n_x + graph.n_y) + 1
+        # Initial frontier: all unmatched X vertices become tree roots.
+        frontier = matching.unmatched_x()
+        root_x[frontier] = frontier
+        leaf[frontier] = UNMATCHED
 
     def prefer_top_down(frontier: np.ndarray) -> bool:
         if not options.direction_optimizing:
@@ -176,10 +216,6 @@ def run_interleaved(
             monitor.after_barrier()
         return np.asarray(merged, dtype=np.int64)
 
-    frontier = matching.unmatched_x()
-    root_x[frontier] = frontier
-    leaf[frontier] = UNMATCHED
-
     while True:
         counters.phases += 1
         options.begin_phase(counters.phases)
@@ -193,68 +229,86 @@ def run_interleaved(
             if state.num_unvisited_y == 0:
                 frontier = frontier[:0]
                 break
+            tel.observe_frontier(int(frontier.size))
             counters.bfs_levels += 1
+            unvisited_before = state.num_unvisited_y
+            edges_before = edges
             if prefer_top_down(frontier):
                 counters.topdown_steps += 1
-                frontier = run_region(frontier, topdown_program)
+                with tel.step("topdown"):
+                    frontier = run_region(frontier, topdown_program)
+                tel.count_level(
+                    "topdown", claims=unvisited_before - state.num_unvisited_y
+                )
             else:
                 counters.bottomup_steps += 1
-                rows = np.flatnonzero(state.visited == 0)
-                frontier = run_region(rows, bottomup_program)
+                with tel.step("bottomup"):
+                    rows = np.flatnonzero(state.visited == 0)
+                    frontier = run_region(rows, bottomup_program)
+                tel.count_level(
+                    "bottomup", claims=unvisited_before - state.num_unvisited_y
+                )
+            tel.count_edges(edges - edges_before)
 
         # Step 2: augment (paths are vertex-disjoint; order is irrelevant).
         augmented = 0
-        for x0 in np.flatnonzero((mate_x == UNMATCHED) & (leaf != UNMATCHED)):
-            y = int(leaf[x0])
-            length = 0
-            while True:
-                if length > path_bound:
-                    raise InvariantViolation(
-                        f"augmenting path from root {int(x0)} exceeds {path_bound} "
-                        f"edges; parent/mate pointers form a cycle"
-                    )
-                x = int(parent[y])
-                prev_mate = int(mate_x[x])
-                mate_x[x] = y
-                mate_y[y] = x
-                length += 1
-                if prev_mate == UNMATCHED:
-                    break
-                y = prev_mate
-                length += 1
-            counters.record_path(length)
-            augmented += 1
+        with tel.step("augment"):
+            for x0 in np.flatnonzero((mate_x == UNMATCHED) & (leaf != UNMATCHED)):
+                y = int(leaf[x0])
+                length = 0
+                while True:
+                    if length > path_bound:
+                        raise InvariantViolation(
+                            f"augmenting path from root {int(x0)} exceeds {path_bound} "
+                            f"edges; parent/mate pointers form a cycle"
+                        )
+                    x = int(parent[y])
+                    prev_mate = int(mate_x[x])
+                    mate_x[x] = y
+                    mate_y[y] = x
+                    length += 1
+                    if prev_mate == UNMATCHED:
+                        break
+                    y = prev_mate
+                    length += 1
+                counters.record_path(length)
+                augmented += 1
         if augmented == 0:
             break
 
         # Step 3: GRAFT.
-        renewable_x = np.flatnonzero(state.renewable_x_mask())
-        root_x[renewable_x] = UNMATCHED
-        active_x_count = int(np.count_nonzero(root_x != UNMATCHED))
-        active_y = np.flatnonzero(state.active_y_mask())
-        renewable_y = np.flatnonzero(state.renewable_y_mask())
-        state.visited[renewable_y] = 0
-        root_y[renewable_y] = UNMATCHED
-        state.num_unvisited_y += int(renewable_y.size)
-        if options.grafting and active_x_count > renewable_y.size / alpha:
-            before = state.num_unvisited_y
-            frontier = run_region(renewable_y, bottomup_program)
-            counters.grafts += before - state.num_unvisited_y
-        else:
-            counters.tree_rebuilds += 1
-            state.visited[active_y] = 0
-            root_y[active_y] = UNMATCHED
-            state.num_unvisited_y += int(active_y.size)
-            root_x[:] = UNMATCHED
-            frontier = matching.unmatched_x()
-            root_x[frontier] = frontier
-            leaf[frontier] = UNMATCHED
+        with tel.step("statistics"):
+            renewable_x = np.flatnonzero(state.renewable_x_mask())
+            root_x[renewable_x] = UNMATCHED
+            active_x_count = int(np.count_nonzero(root_x != UNMATCHED))
+            active_y = np.flatnonzero(state.active_y_mask())
+            renewable_y = np.flatnonzero(state.renewable_y_mask())
+        with tel.step("grafting"):
+            state.visited[renewable_y] = 0
+            root_y[renewable_y] = UNMATCHED
+            state.num_unvisited_y += int(renewable_y.size)
+            if options.grafting and active_x_count > renewable_y.size / alpha:
+                before = state.num_unvisited_y
+                edges_before = edges
+                frontier = run_region(renewable_y, bottomup_program)
+                tel.count_edges(edges - edges_before)
+                counters.grafts += before - state.num_unvisited_y
+            else:
+                counters.tree_rebuilds += 1
+                state.visited[active_y] = 0
+                root_y[active_y] = UNMATCHED
+                state.num_unvisited_y += int(active_y.size)
+                root_x[:] = UNMATCHED
+                frontier = matching.unmatched_x()
+                root_x[frontier] = frontier
+                leaf[frontier] = UNMATCHED
         if options.check_invariants:
             state.check_invariants(graph, matching)
         if monitor is not None:
             monitor.after_phase()
 
     counters.edges_traversed = edges
+    tel.finish_run(counters)
     return MatchResult(
         matching=matching,
         algorithm=options.algorithm_name + "-interleaved",

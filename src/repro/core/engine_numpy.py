@@ -25,6 +25,7 @@ from repro.instrument.counters import Counters
 from repro.instrument.frontier import FrontierLog
 from repro.matching.base import MatchResult, Matching, init_matching
 from repro.parallel.trace import WorkTrace
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.timer import StepTimer
 
 
@@ -41,17 +42,33 @@ def run_numpy(
     so the race detector can audit the kernels' bulk accesses.
     """
     start = time.perf_counter()
-    matching = init_matching(graph, initial)
-    counters = Counters()
-    timer = StepTimer()
-    trace = WorkTrace() if options.emit_trace else None
-    frontier_log = FrontierLog() if options.record_frontiers else None
-    state = ForestState.for_graph(graph)
-    state.observer = observer
-    workspace = kernels.KernelWorkspace.for_graph(graph)
-    alpha = options.alpha
-    deg_x = np.diff(graph.x_ptr)
-    deg_y = np.diff(graph.y_ptr)
+    tel = options.telemetry if options.telemetry is not None else NULL_TELEMETRY
+    with tel.run_span("numpy", algorithm=options.algorithm_name, graph=graph):
+        result = _run_numpy(graph, initial, options, observer, tel, start)
+    return result
+
+
+def _run_numpy(
+    graph: BipartiteCSR,
+    initial: Matching | None,
+    options: GraftOptions,
+    observer,
+    tel,
+    start: float,
+) -> MatchResult:
+    with tel.step("setup"):
+        matching = init_matching(graph, initial)
+        counters = Counters()
+        timer = StepTimer()
+        trace = WorkTrace() if options.emit_trace else None
+        frontier_log = FrontierLog() if options.record_frontiers else None
+        state = ForestState.for_graph(graph)
+        state.observer = observer
+        workspace = kernels.KernelWorkspace.for_graph(graph)
+        alpha = options.alpha
+        deg_x = np.diff(graph.x_ptr)
+        deg_y = np.diff(graph.y_ptr)
+        frontier = kernels.rebuild_from_unmatched(state, matching)
 
     def prefer_top_down(frontier: np.ndarray) -> bool:
         if not options.direction_optimizing:
@@ -61,8 +78,6 @@ def run_numpy(
             unvisited_edges = int(deg_y[state.visited == 0].sum())
             return frontier_edges < unvisited_edges / alpha
         return frontier.size < state.num_unvisited_y / alpha
-
-    frontier = kernels.rebuild_from_unmatched(state, matching)
 
     while True:
         counters.phases += 1
@@ -79,11 +94,13 @@ def run_numpy(
                 break
             if frontier_log is not None:
                 frontier_log.record(int(frontier.size))
+            tel.observe_frontier(int(frontier.size))
             counters.bfs_levels += 1
             if prefer_top_down(frontier):
                 counters.topdown_steps += 1
-                with timer.step("topdown"):
+                with timer.step("topdown"), tel.step("topdown"):
                     stats = kernels.topdown_level(graph, state, matching, frontier, workspace)
+                tel.count_level("topdown", claims=stats.claims)
                 if trace is not None:
                     trace.add(
                         "topdown",
@@ -93,9 +110,10 @@ def run_numpy(
                     )
             else:
                 counters.bottomup_steps += 1
-                with timer.step("bottomup"):
+                with timer.step("bottomup"), tel.step("bottomup"):
                     rows = np.flatnonzero(state.visited == 0).astype(INDEX_DTYPE)
                     stats = kernels.bottomup_level(graph, state, matching, rows, workspace)
+                tel.count_level("bottomup", claims=stats.claims)
                 if trace is not None:
                     trace.add(
                         "bottomup",
@@ -103,10 +121,11 @@ def run_numpy(
                         queue_appends=int(stats.next_frontier.size),
                     )
             counters.edges_traversed += stats.edges
+            tel.count_edges(stats.edges)
             frontier = stats.next_frontier
 
         # --- Step 2: augment along the discovered paths ---------------- #
-        with timer.step("augment"):
+        with timer.step("augment"), tel.step("augment"):
             roots, lengths = kernels.augment_all(state, matching)
         for length in lengths:
             counters.record_path(length)
@@ -120,11 +139,11 @@ def run_numpy(
             break  # no augmenting path in this phase: maximum reached
 
         # --- Step 3: rebuild the frontier (GRAFT) ---------------------- #
-        with timer.step("statistics"):
+        with timer.step("statistics"), tel.step("statistics"):
             gstats = kernels.graft_partition(state)
         if trace is not None:
             trace.add_uniform("statistics", graph.n_x + graph.n_y, 1.0)
-        with timer.step("grafting"):
+        with timer.step("grafting"), tel.step("grafting"):
             use_graft = options.grafting and (
                 gstats.active_x_count > gstats.renewable_y.size / alpha
             )
@@ -133,6 +152,7 @@ def run_numpy(
                     graph, state, matching, gstats.renewable_y, workspace, region="grafting"
                 )
                 counters.edges_traversed += stats.edges
+                tel.count_edges(stats.edges)
                 counters.grafts += stats.claims
                 frontier = stats.next_frontier
                 if trace is not None:
@@ -152,6 +172,7 @@ def run_numpy(
         if options.check_invariants:
             state.check_invariants(graph, matching)
 
+    tel.finish_run(counters)
     return MatchResult(
         matching=matching,
         algorithm=options.algorithm_name,

@@ -20,6 +20,7 @@ from repro.instrument.counters import Counters
 from repro.instrument.frontier import FrontierLog
 from repro.matching._common import adjacency_lists
 from repro.matching.base import MatchResult, Matching, init_matching
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.timer import StepTimer
 
 
@@ -28,25 +29,44 @@ def run_python(
 ) -> MatchResult:
     """Serial MS-BFS-Graft (Algorithm 3), pure-Python reference."""
     start = time.perf_counter()
-    matching = init_matching(graph, initial)
-    counters = Counters()
-    timer = StepTimer()
-    frontier_log = FrontierLog() if options.record_frontiers else None
-    x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
-    n_x, n_y = graph.n_x, graph.n_y
-    mate_x = matching.mate_x.tolist()
-    mate_y = matching.mate_y.tolist()
-    visited = [0] * n_y
-    parent = [-1] * n_y
-    root_x = [-1] * n_x
-    root_y = [-1] * n_y
-    leaf = [-1] * n_x
-    alpha = options.alpha
-    edges = 0
-    num_unvisited = n_y
-    deg_x = [x_ptr[x + 1] - x_ptr[x] for x in range(n_x)]
-    deg_y = [y_ptr[y + 1] - y_ptr[y] for y in range(n_y)]
-    unvisited_deg = sum(deg_y)
+    tel = options.telemetry if options.telemetry is not None else NULL_TELEMETRY
+    with tel.run_span("python", algorithm=options.algorithm_name, graph=graph):
+        result = _run_python(graph, initial, options, tel, start)
+    return result
+
+
+def _run_python(
+    graph: BipartiteCSR,
+    initial: Matching | None,
+    options: GraftOptions,
+    tel,
+    start: float,
+) -> MatchResult:
+    with tel.step("setup"):
+        matching = init_matching(graph, initial)
+        counters = Counters()
+        timer = StepTimer()
+        frontier_log = FrontierLog() if options.record_frontiers else None
+        x_ptr, x_adj, y_ptr, y_adj = adjacency_lists(graph)
+        n_x, n_y = graph.n_x, graph.n_y
+        mate_x = matching.mate_x.tolist()
+        mate_y = matching.mate_y.tolist()
+        visited = [0] * n_y
+        parent = [-1] * n_y
+        root_x = [-1] * n_x
+        root_y = [-1] * n_y
+        leaf = [-1] * n_x
+        alpha = options.alpha
+        edges = 0
+        num_unvisited = n_y
+        deg_x = [x_ptr[x + 1] - x_ptr[x] for x in range(n_x)]
+        deg_y = [y_ptr[y + 1] - y_ptr[y] for y in range(n_y)]
+        unvisited_deg = sum(deg_y)
+        # Initial frontier: all unmatched X vertices become tree roots.
+        frontier = [x for x in range(n_x) if mate_x[x] == -1]
+        for x in frontier:
+            root_x[x] = x
+            leaf[x] = -1
 
     def prefer_top_down(frontier: List[int]) -> bool:
         if not options.direction_optimizing:
@@ -106,12 +126,6 @@ def run_python(
                     break  # stop exploring y's neighbours (Alg. 6 line 7)
         return queue
 
-    # Initial frontier: all unmatched X vertices become tree roots.
-    frontier = [x for x in range(n_x) if mate_x[x] == -1]
-    for x in frontier:
-        root_x[x] = x
-        leaf[x] = -1
-
     while True:
         counters.phases += 1
         options.begin_phase(counters.phases)
@@ -127,20 +141,26 @@ def run_python(
                 break
             if frontier_log is not None:
                 frontier_log.record(len(frontier))
+            tel.observe_frontier(len(frontier))
             counters.bfs_levels += 1
+            unvisited_before = num_unvisited
+            edges_before = edges
             if prefer_top_down(frontier):
                 counters.topdown_steps += 1
-                with timer.step("topdown"):
+                with timer.step("topdown"), tel.step("topdown"):
                     frontier = topdown(frontier)
+                tel.count_level("topdown", claims=unvisited_before - num_unvisited)
             else:
                 counters.bottomup_steps += 1
-                with timer.step("bottomup"):
+                with timer.step("bottomup"), tel.step("bottomup"):
                     rows = [y for y in range(n_y) if not visited[y]]
                     frontier = bottomup(rows)
+                tel.count_level("bottomup", claims=unvisited_before - num_unvisited)
+            tel.count_edges(edges - edges_before)
 
         # --- Step 2: augment along the discovered paths ---------------- #
         augmented = 0
-        with timer.step("augment"):
+        with timer.step("augment"), tel.step("augment"):
             for x0 in range(n_x):
                 if mate_x[x0] != -1 or leaf[x0] == -1:
                     continue
@@ -162,7 +182,7 @@ def run_python(
             break  # no augmenting path in this phase: matching is maximum
 
         # --- Step 3: rebuild the frontier (GRAFT, Algorithm 7) --------- #
-        with timer.step("statistics"):
+        with timer.step("statistics"), tel.step("statistics"):
             active_x_count = 0
             for x in range(n_x):
                 rx = root_x[x]
@@ -180,14 +200,16 @@ def run_python(
                         active_y.append(y)
                     else:
                         renewable_y.append(y)
-        with timer.step("grafting"):
+        with timer.step("grafting"), tel.step("grafting"):
             for y in renewable_y:
                 visited[y] = 0
                 root_y[y] = -1
                 unvisited_deg += deg_y[y]
             num_unvisited += len(renewable_y)
             if options.grafting and active_x_count > len(renewable_y) / alpha:
+                edges_before = edges
                 frontier = bottomup(renewable_y)
+                tel.count_edges(edges - edges_before)
                 counters.grafts += len(frontier)
             else:
                 counters.tree_rebuilds += 1
@@ -206,6 +228,7 @@ def run_python(
     matching.mate_x[:] = mate_x
     matching.mate_y[:] = mate_y
     counters.edges_traversed = edges
+    tel.finish_run(counters)
     return MatchResult(
         matching=matching,
         algorithm=options.algorithm_name,

@@ -126,6 +126,15 @@ class GraftOptions:
     it is also a convenient progress callback. Runs *after* the deadline
     check, so an injected delay is charged to the phase it slows down.
     """
+    telemetry: Optional[object] = field(default=None, compare=False)
+    """Telemetry session (:class:`repro.telemetry.Telemetry`) or ``None``.
+
+    When set, :meth:`begin_phase` opens one span per phase through this
+    seam (all three engines share it) and the engines add step spans and
+    metrics on top. ``None`` (the default) costs a single attribute check
+    per phase — the disabled-overhead bound in the telemetry tests relies
+    on this field staying a plain attribute. Excluded from equality, like
+    the other runtime-only fields."""
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -140,11 +149,15 @@ class GraftOptions:
 
         Checks the deadline first (raising
         :class:`~repro.errors.DeadlineExceeded` if the budget is spent),
-        then runs the phase hook. Engines call this once per phase, right
-        after incrementing the phase counter.
+        then opens the telemetry phase span, then runs the phase hook — in
+        that order, so a hook-injected delay (the service's ``slow-phase``
+        fault) is charged to the phase span it slows down. Engines call
+        this once per phase, right after incrementing the phase counter.
         """
         if self.deadline is not None:
             self.deadline.check(context=f"phase {phase}")
+        if self.telemetry is not None:
+            self.telemetry.begin_phase(phase)
         if self.phase_hook is not None:
             self.phase_hook(phase)
 

@@ -47,6 +47,15 @@ class ServiceError(ReproError):
     """Raised by the batch job-execution service in :mod:`repro.service`."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the telemetry subsystem (:mod:`repro.telemetry`).
+
+    Covers span-stack misuse (ending a span that is not open), metric
+    registration conflicts (one name, two types), invalid Prometheus
+    names/labels, and exposition text that fails the lint pass.
+    """
+
+
 class DeadlineExceeded(ServiceError):
     """Raised when a run's cooperative deadline expires.
 

@@ -20,6 +20,9 @@ def ms_bfs(
     engine: str = "auto",
     record_frontiers: bool = False,
     emit_trace: bool = True,
+    deadline=None,
+    phase_hook=None,
+    telemetry=None,
 ) -> MatchResult:
     """Maximum matching by multi-source BFS without tree grafting."""
     # Imported lazily: repro.core depends on repro.matching.base, and a
@@ -35,4 +38,7 @@ def ms_bfs(
         engine=engine,
         record_frontiers=record_frontiers,
         emit_trace=emit_trace,
+        deadline=deadline,
+        phase_hook=phase_hook,
+        telemetry=telemetry,
     )

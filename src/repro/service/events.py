@@ -35,11 +35,13 @@ JOB_DONE = "job_done"
 JOB_RESUMED = "job_resumed"
 JOB_TIMEOUT = "job_timeout"
 JOB_FAILED = "job_failed"
+TELEMETRY_SPAN = "telemetry_span"
+TELEMETRY_METRIC = "telemetry_metric"
 
 EVENT_NAMES = frozenset({
     BATCH_STARTED, BATCH_DONE, JOB_QUEUED, JOB_STARTED, JOB_RETRIED,
     JOB_DEGRADED, JOB_CHECKPOINTED, JOB_DONE, JOB_RESUMED, JOB_TIMEOUT,
-    JOB_FAILED,
+    JOB_FAILED, TELEMETRY_SPAN, TELEMETRY_METRIC,
 })
 
 

@@ -40,6 +40,7 @@ from repro.service.events import EventLog
 from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.jobs import JobOutcome, JobSpec, resolve_graph
 from repro.service.retry import RetryPolicy, classify_failure
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.rng import as_rng
 
 
@@ -89,6 +90,8 @@ class BatchExecutor:
         default_deadline: Optional[float] = None,
         clock: Optional[object] = None,
         jitter_seed: int = 0,
+        telemetry: Optional[object] = None,
+        progress: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.run_dir = run_dir if isinstance(run_dir, RunDirectory) else RunDirectory(run_dir)
         self.retry = retry
@@ -96,6 +99,8 @@ class BatchExecutor:
         self.default_deadline = default_deadline
         self.clock = clock if clock is not None else SystemClock()
         self._rng = as_rng(jitter_seed)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.progress = progress
 
     # ------------------------------------------------------------------ #
     # public API
@@ -110,7 +115,11 @@ class BatchExecutor:
             for spec in jobs:
                 log.emit(ev.JOB_QUEUED, spec.job_id, algorithm=spec.algorithm,
                          engine=spec.engine, digest=spec.digest())
-            outcomes = [self._run_job(spec, log, injector) for spec in jobs]
+            outcomes = []
+            for index, spec in enumerate(jobs, 1):
+                outcome = self._run_job(spec, log, injector)
+                outcomes.append(outcome)
+                self._report_progress(index, len(jobs), outcome)
             log.emit(
                 ev.BATCH_DONE,
                 done=sum(o.status == "done" for o in outcomes),
@@ -132,11 +141,31 @@ class BatchExecutor:
             names.append(f"slow-phase:{self.faults.slow_phase_seconds}")
         return names
 
+    def _report_progress(self, index: int, total: int, outcome: JobOutcome) -> None:
+        if self.progress is None:
+            return
+        detail = f"engine={outcome.engine_used or 'native'} attempts={outcome.attempts}"
+        if outcome.degraded:
+            detail += " degraded"
+        if outcome.elapsed_seconds:
+            detail += f" ({outcome.elapsed_seconds:.2f}s)"
+        self.progress(
+            f"[{index}/{total}] {outcome.spec.job_id} {outcome.status} {detail}"
+        )
+
     def _run_job(self, spec: JobSpec, log: EventLog, injector: FaultInjector) -> JobOutcome:
-        resumed = self._try_resume(spec, log)
-        if resumed is not None:
-            return resumed
-        return self._execute(spec, log, injector)
+        tel = self.telemetry
+        with tel.job_span(spec.job_id, spec.algorithm, spec.engine) as span:
+            resumed = self._try_resume(spec, log)
+            if resumed is not None:
+                outcome = resumed
+            else:
+                outcome = self._execute(spec, log, injector)
+            if span is not None:
+                span.set(status=outcome.status, attempts=outcome.attempts,
+                         degraded=outcome.degraded)
+            tel.count_job(outcome.status)
+        return outcome
 
     def _try_resume(self, spec: JobSpec, log: EventLog) -> Optional[JobOutcome]:
         entry = self.run_dir.completed_entry(spec.job_id, spec.digest())
@@ -201,10 +230,13 @@ class BatchExecutor:
                 log.emit(ev.JOB_STARTED, spec.job_id, attempt=attempts,
                          engine=engine, deadline_seconds=deadline_seconds)
                 try:
-                    injector.before_attempt(spec.job_id, engine or "native")
-                    result = self._run_attempt(
-                        spec, graph, engine, deadline_seconds, injector
-                    )
+                    with self.telemetry.attempt_span(
+                        spec.job_id, attempts, engine or "native"
+                    ):
+                        injector.before_attempt(spec.job_id, engine or "native")
+                        result = self._run_attempt(
+                            spec, graph, engine, deadline_seconds, injector
+                        )
                     verify_maximum(graph, result.matching)
                     path = self.run_dir.record_done(
                         spec.job_id,
@@ -245,6 +277,7 @@ class BatchExecutor:
                     ):
                         delay = self.retry.backoff_seconds(attempt, self._rng)
                         retries += 1
+                        self.telemetry.count_retry()
                         log.emit(ev.JOB_RETRIED, spec.job_id, attempt=attempts,
                                  engine=engine, delay_seconds=round(delay, 6),
                                  error=str(exc))
@@ -252,6 +285,7 @@ class BatchExecutor:
                         continue
                     break  # permanent, or transient budget exhausted
             if engine_index + 1 < len(chain):
+                self.telemetry.count_degradation()
                 log.emit(ev.JOB_DEGRADED, spec.job_id,
                          from_engine=engine, to_engine=chain[engine_index + 1],
                          error=str(last_error))
@@ -284,7 +318,8 @@ class BatchExecutor:
         phase_hook = (
             injector.phase_hook if self.faults.slow_phase_seconds > 0 else None
         )
+        telemetry = self.telemetry if self.telemetry.enabled else None
         return run_algorithm(
             spec.algorithm, graph, seed=spec.seed, engine=engine,
-            deadline=deadline, phase_hook=phase_hook,
+            deadline=deadline, phase_hook=phase_hook, telemetry=telemetry,
         )

@@ -1,0 +1,58 @@
+"""Unified telemetry: span tracing, metrics, and exporters.
+
+The observability layer of the reproduction (see ``docs/observability.md``):
+
+* :mod:`repro.telemetry.spans` — nested span tracer (monotonic durations,
+  wall anchors, per-thread stacks);
+* :mod:`repro.telemetry.metrics` — counters / gauges / fixed-bucket
+  histograms with Prometheus naming rules;
+* :mod:`repro.telemetry.exporters` — Chrome ``chrome://tracing`` JSON,
+  Prometheus text exposition (+ lint), and a JSONL stream that composes
+  with the service :class:`~repro.service.events.EventLog`;
+* :mod:`repro.telemetry.session` — the :class:`Telemetry` bundle the
+  driver, batch executor, and CLI accept, plus :data:`NULL_TELEMETRY`.
+"""
+
+from repro.telemetry.exporters import (
+    chrome_trace,
+    export_jsonl,
+    lint_prometheus,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+    write_telemetry_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    FRONTIER_BUCKETS,
+    PATH_LENGTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.session import ENGINE_STEPS, NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ENGINE_STEPS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "FRONTIER_BUCKETS",
+    "PATH_LENGTH_BUCKETS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "lint_prometheus",
+    "export_jsonl",
+    "write_telemetry_jsonl",
+]

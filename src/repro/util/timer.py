@@ -54,13 +54,21 @@ class StepTimer:
 
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
+        self._active: set[str] = set()
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
+        if name in self._active:
+            raise RuntimeError(
+                f"StepTimer.step({name!r}) re-entered while already timing "
+                f"{name!r}; nested use would double-count the inner interval"
+            )
+        self._active.add(name)
         start = time.perf_counter()
         try:
             yield
         finally:
+            self._active.discard(name)
             self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
 
     def add(self, name: str, seconds: float) -> None:

@@ -66,9 +66,12 @@ class TestRates:
     def test_mteps(self):
         assert mteps(2_000_000, 2.0) == pytest.approx(1.0)
 
-    def test_mteps_requires_positive_time(self):
-        with pytest.raises(ValueError):
-            mteps(100, 0.0)
+    def test_mteps_zero_time_is_infinite_rate(self):
+        # Sub-resolution timings round to zero on tiny graphs; the rate
+        # saturates instead of raising so reports keep rendering.
+        assert mteps(100, 0.0) == float("inf")
+        assert mteps(100, -1e-9) == float("inf")
+        assert mteps(0, 0.0) == float("inf")
 
     def test_sensitivity_is_percentage(self):
         assert parallel_sensitivity([1.0, 3.0]) == pytest.approx(50.0)

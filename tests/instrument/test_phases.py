@@ -45,6 +45,46 @@ class TestPhaseProfileFromSyntheticTrace:
         profile = phase_profile(WorkTrace())
         assert profile.num_phases == 1
         assert profile.total_traversal_work() == 0.0
+        assert profile.augmentation_series() == [0]
+        assert profile.traversal_work_series() == [0.0]
+
+    def test_zero_augment_regions(self):
+        # A run whose initial matching is already maximum traverses once,
+        # finds nothing, and never augments or grafts.
+        t = WorkTrace()
+        t.add("topdown", [2.0, 1.0])
+        t.add("topdown", [0.5])
+        profile = phase_profile(t)
+        assert profile.num_phases == 1
+        assert profile.phases[0].augmentations == 0
+        assert profile.phases[0].augment_work == 0.0
+        assert profile.phases[0].traversal_levels == 2  # one per region
+        assert not profile.phases[0].used_graft_branch
+
+    def test_trace_ending_mid_phase(self):
+        # The final phase of every real run ends after its (empty) augment
+        # scan with no grafting region; it must still be recorded.
+        t = WorkTrace()
+        t.add("topdown", [4.0])
+        t.add("augment", [1.0])
+        t.add("grafting", [2.0])
+        t.add("topdown", [1.0])
+        t.add("augment", [3.0])  # trace stops here: no step-3 region
+        profile = phase_profile(t)
+        assert profile.num_phases == 2
+        assert profile.phases[1].augmentations == 1
+        assert profile.phases[1].graft_work == 0.0
+
+    def test_statistics_only_tail_not_a_phase(self):
+        # A trailing statistics region after the last grafting region is
+        # bookkeeping, not a new phase.
+        t = WorkTrace()
+        t.add("topdown", [4.0])
+        t.add("augment", [1.0])
+        t.add("grafting", [2.0])
+        t.add_uniform("statistics", 5, 1.0)
+        profile = phase_profile(t)
+        assert profile.num_phases == 1
 
 
 class TestPhaseProfileFromRealRuns:

@@ -1,0 +1,122 @@
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    FRONTIER_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotone_accumulation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("edges_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_inc_raises(self):
+        c = MetricsRegistry().counter("edges_total")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("frontier_size")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = MetricsRegistry().histogram("path_length", buckets=(1, 3, 5))
+        for value in (1, 2, 4, 99):
+            h.observe(value)
+        # non-cumulative: <=1, (1,3], (3,5], +Inf
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.0)
+
+    def test_boundary_value_is_inclusive(self):
+        h = MetricsRegistry().histogram("x", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts[0] == 1
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("x", buckets=(3, 1, 2))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("x", buckets=(1, 1, 2))
+
+    def test_explicit_inf_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("x", buckets=(1, float("inf")))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", labels={"status": "done"})
+        b = reg.counter("jobs_total", labels={"status": "done"})
+        assert a is b
+
+    def test_distinct_labels_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", labels={"status": "done"})
+        b = reg.counter("jobs_total", labels={"status": "failed"})
+        assert a is not b
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("t_total", labels={"a": "1", "b": "2"})
+        b = reg.counter("t_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x_total")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1, 2))
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", buckets=(1, 2, 3))
+
+    def test_bad_metric_name_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("bad name")
+
+    def test_bad_label_name_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("ok_total", labels={"bad-label": "x"})
+
+    def test_families_sorted_with_members(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta")
+        reg.counter("alpha_total", help="first")
+        reg.counter("alpha_total", labels={"k": "v"})
+        families = reg.families()
+        assert [f[0] for f in families] == ["alpha_total", "zeta"]
+        name, kind, help_text, members = families[0]
+        assert kind == "counter"
+        assert help_text == "first"
+        assert len(members) == 2
+
+    def test_get_existing_and_missing(self):
+        reg = MetricsRegistry()
+        created = reg.histogram("frontier", buckets=FRONTIER_BUCKETS)
+        assert reg.get("frontier") is created
+        with pytest.raises(TelemetryError):
+            reg.get("never_registered")

@@ -213,3 +213,91 @@ class TestBatchCommand:
                      "--run-dir", run_dir]) == 0
         captured = capsys.readouterr()
         assert "resumed 16/16" in captured.err
+
+
+class TestTelemetryCommands:
+    def test_run_with_metrics_out(self, tmp_path, capsys):
+        from repro.telemetry.exporters import lint_prometheus
+
+        out = tmp_path / "run.prom"
+        assert main(["run", "--graph", "rmat", "--scale", "0.05",
+                     "--metrics-out", str(out)]) == 0
+        seen = lint_prometheus(out.read_text())
+        assert "repro_phases_total" in seen
+
+    def test_run_report_machine_and_threads(self, capsys):
+        assert main(["run", "--graph", "rmat", "--scale", "0.05", "--report",
+                     "--machine", "edison", "--threads", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Edison" in out
+        assert "12" in out
+
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "rmat.trace.json"
+        assert main(["trace", "rmat", "--scale", "0.05",
+                     "--out", str(out), "--min-coverage", "0.9"]) == 0
+        doc = json.loads(out.read_text())
+        names = {e.get("name") for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"run", "setup", "phase"} <= names
+        assert "coverage" in capsys.readouterr().out
+
+    def test_trace_min_coverage_failure_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "rmat", "--scale", "0.05",
+                     "--out", str(out), "--min-coverage", "1.0"]) == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_trace_sidecar_outputs(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.exporters import lint_prometheus
+
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "t.jsonl"
+        assert main(["trace", "rmat", "--scale", "0.05",
+                     "--out", str(tmp_path / "t.json"),
+                     "--metrics-out", str(prom),
+                     "--jsonl-out", str(jsonl)]) == 0
+        assert lint_prometheus(prom.read_text())
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert {r["event"] for r in records} == {"telemetry_span",
+                                                "telemetry_metric"}
+
+    def test_perf_check_self_consistency(self, capsys):
+        assert main(["perf-check", "--tolerance", "1x",
+                     "--fresh", "benchmarks/BENCH_kernels.json"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_perf_check_detects_regression(self, tmp_path, capsys):
+        import json
+
+        doc = json.loads(open("benchmarks/BENCH_kernels.json").read())
+        for entry in doc["graphs"]:
+            for engine in entry["timings"]:
+                entry["timings"][engine]["best_seconds"] *= 100.0
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(doc))
+        assert main(["perf-check", "--tolerance", "5x",
+                     "--fresh", str(slow)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_batch_metrics_out_and_progress(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.exporters import lint_prometheus
+
+        run_dir = tmp_path / "batch"
+        prom = tmp_path / "batch.prom"
+        assert main(["batch", "--run-dir", str(run_dir),
+                     "--graphs", "rmat", "--scale", "0.05",
+                     "--metrics-out", str(prom)]) == 0
+        err = capsys.readouterr().err
+        assert "[1/1]" in err and "done" in err
+        seen = lint_prometheus(prom.read_text())
+        assert "repro_jobs_total" in seen
+        events = [json.loads(line)
+                  for line in (run_dir / "events.jsonl").read_text().splitlines()]
+        assert any(e["event"] == "telemetry_span" for e in events)
+        assert any(e["event"] == "telemetry_metric" for e in events)

@@ -80,3 +80,36 @@ class TestStepTimer:
             with t.step("a"):
                 raise ValueError
         assert "a" in t.totals
+
+    def test_reentrant_same_name_raises(self):
+        # Nesting the same step name would double-count the inner interval
+        # in totals; the timer refuses instead of silently inflating.
+        t = StepTimer()
+        with pytest.raises(RuntimeError, match="re-entered"):
+            with t.step("a"):
+                with t.step("a"):
+                    pass  # pragma: no cover - never reached
+
+    def test_reentrancy_guard_clears_after_exit(self):
+        t = StepTimer()
+        with t.step("a"):
+            pass
+        with t.step("a"):  # sequential reuse stays legal
+            pass
+        assert len(t.totals) == 1
+
+    def test_reentrancy_guard_clears_after_exception(self):
+        t = StepTimer()
+        with pytest.raises(ValueError):
+            with t.step("a"):
+                raise ValueError
+        with t.step("a"):
+            pass
+        assert "a" in t.totals
+
+    def test_distinct_names_may_nest(self):
+        t = StepTimer()
+        with t.step("outer"):
+            with t.step("inner"):
+                pass
+        assert set(t.totals) == {"outer", "inner"}
