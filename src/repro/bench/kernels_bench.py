@@ -109,6 +109,7 @@ def run_kernel_bench(
     repeats: int = 3,
     graphs: Sequence[str] | None = None,
     verify: bool = True,
+    cache=None,
 ) -> Dict[str, object]:
     """Time both backends on every benchmark input; return the JSON doc.
 
@@ -117,6 +118,9 @@ def run_kernel_bench(
     backends must agree on the cardinality graph by graph — the benchmark
     doubles as a coarse differential test — and ``verify=True``
     additionally certifies the vectorized result (Berge + König).
+    ``cache`` is an optional :class:`repro.cache.GraphCache`: the bench
+    inputs then resolve content-addressed (keyed under ``kind="bench"`` so
+    they never collide with same-named suite graphs).
     """
     selected = [g for g in BENCH_GRAPHS if graphs is None or g.name in graphs]
     if graphs is not None:
@@ -128,7 +132,14 @@ def run_kernel_bench(
             )
     entries: List[Dict[str, object]] = []
     for spec in selected:
-        graph = spec.build(scale)
+        if cache is not None:
+            graph = cache.prepare_spec(
+                "bench", spec.name, {"scale": float(scale)},
+                lambda spec=spec: spec.build(scale),
+                source=f"bench:{spec.name} {spec.describe(scale)}",
+            ).graph
+        else:
+            graph = spec.build(scale)
         timings: Dict[str, Dict[str, object]] = {}
         cardinalities: Dict[str, int] = {}
         for engine in ENGINES:

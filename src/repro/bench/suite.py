@@ -165,6 +165,18 @@ def suite_specs() -> List[str]:
     return [spec.name for spec in _specs()]
 
 
+def suite_counterpart(name: str) -> str:
+    """Paper counterpart label of a suite graph, without building it.
+
+    Lets cache-backed callers print the Table II provenance while the graph
+    itself comes from the content-addressed store.
+    """
+    for spec in _specs():
+        if spec.name == name:
+            return spec.paper_counterpart
+    raise BenchmarkError(f"unknown suite graph {name!r}; known: {suite_specs()}")
+
+
 def get_suite_graph(name: str, scale: float = 1.0) -> SuiteGraph:
     """Build one suite graph by name."""
     for spec in _specs():

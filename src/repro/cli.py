@@ -19,9 +19,38 @@ from typing import Callable, Dict
 
 from repro.bench import experiments
 from repro.bench.runner import ALGORITHMS, run_algorithm
-from repro.bench.suite import get_suite_graph, suite_specs
+from repro.bench.suite import get_suite_graph, suite_counterpart, suite_specs
 from repro.graph.io import read_matrix_market
 from repro.matching.verify import verify_maximum
+
+
+def _open_cache(args: argparse.Namespace, telemetry=None):
+    """A :class:`~repro.cache.GraphCache` when ``--cache-dir`` was given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from repro.cache import GraphCache
+
+    return GraphCache(cache_dir, telemetry=telemetry)
+
+
+def _acquire_suite_graph(args: argparse.Namespace, telemetry=None):
+    """Resolve the suite graph for run/trace, through the cache when asked.
+
+    Returns ``(graph, initial_matching_or_None, status_line_or_None)``:
+    with a cache the Karp-Sipser warm start comes from the entry too
+    (keyed by seed), so a warm invocation skips the whole ingest path.
+    """
+    cache = _open_cache(args, telemetry=telemetry)
+    if cache is None:
+        return get_suite_graph(args.graph, scale=args.scale).graph, None, None
+    prepared = cache.prepare_suite(args.graph, args.scale)
+    initial = cache.warm_start(prepared, args.seed)
+    status = (
+        f"cache        : {'hit' if prepared.from_cache else 'miss'} "
+        f"{prepared.key[:12]} ({cache.total_bytes:,} bytes in store)"
+    )
+    return prepared.graph, initial, status
 
 _EXPERIMENTS: Dict[str, Callable[[float], object]] = {
     "table1": lambda scale: experiments.table1.run(),
@@ -56,10 +85,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
-    sg = get_suite_graph(args.graph, scale=args.scale)
-    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed,
+    graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
+    result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
                            engine=args.engine, telemetry=telemetry)
-    verify_maximum(sg.graph, result.matching)
+    verify_maximum(graph, result.matching)
     if telemetry is not None:
         from repro.telemetry import write_prometheus
 
@@ -69,12 +98,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.report:
         from repro.instrument.report import run_report
 
-        print(f"graph        : {args.graph} ({sg.paper_counterpart})")
+        print(f"graph        : {args.graph} ({suite_counterpart(args.graph)})")
         print(run_report(result, machine=_machine_registry()[args.machine],
                          threads=args.threads))
         return 0
     c = result.counters
-    print(f"graph        : {args.graph} ({sg.paper_counterpart}); n={sg.graph.num_vertices:,} m={sg.graph.num_directed_edges:,}")
+    print(f"graph        : {args.graph} ({suite_counterpart(args.graph)}); n={graph.num_vertices:,} m={graph.num_directed_edges:,}")
+    if cache_status is not None:
+        print(cache_status)
     print(f"algorithm    : {result.algorithm}")
     print(f"|M|          : {result.cardinality:,} (maximum, certified)")
     print(f"fraction     : {result.matching.matching_fraction():.4f} of |V|")
@@ -228,6 +259,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         telemetry=telemetry,
         progress=lambda line: print(line, file=sys.stderr),
+        cache=_open_cache(args, telemetry=telemetry),
     )
     outcomes = executor.run_batch(jobs)
     if telemetry is not None:
@@ -318,7 +350,8 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         write_kernel_bench,
     )
 
-    doc = run_kernel_bench(scale=args.scale, repeats=args.repeats, graphs=args.graphs)
+    doc = run_kernel_bench(scale=args.scale, repeats=args.repeats, graphs=args.graphs,
+                           cache=_open_cache(args))
     print(render_kernel_bench(doc))
     if args.out:
         write_kernel_bench(doc, args.out)
@@ -330,11 +363,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one algorithm with full telemetry and write a Chrome trace."""
     from repro.telemetry import Telemetry, write_chrome_trace, write_prometheus
 
-    sg = get_suite_graph(args.graph, scale=args.scale)
     telemetry = Telemetry()
-    result = run_algorithm(args.algorithm, sg.graph, seed=args.seed,
+    graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
+    result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
                            engine=args.engine, telemetry=telemetry)
-    verify_maximum(sg.graph, result.matching)
+    verify_maximum(graph, result.matching)
     out = args.out or f"{args.graph}.trace.json"
     write_chrome_trace(
         telemetry.tracer, out,
@@ -345,7 +378,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     coverage = telemetry.tracer.coverage()
     spans = [s for s in telemetry.tracer.spans if not s.open]
     print(f"graph    : {args.graph} (scale {args.scale}); "
-          f"n={sg.graph.num_vertices:,} m={sg.graph.num_directed_edges:,}")
+          f"n={graph.num_vertices:,} m={graph.num_directed_edges:,}")
+    if cache_status is not None:
+        print(cache_status.replace("cache        :", "cache    :"))
     print(f"|M|      : {result.cardinality:,} (maximum, certified)")
     print(f"trace    : {out} ({len(spans)} spans; open in "
           f"https://ui.perfetto.dev or chrome://tracing)")
@@ -386,6 +421,58 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Manage the content-addressed graph-preparation cache."""
+    from repro.cache import DEFAULT_MAX_BYTES, GraphCache
+
+    max_bytes = getattr(args, "max_bytes", None) or DEFAULT_MAX_BYTES
+    cache = GraphCache(args.cache_dir, max_bytes=max_bytes)
+    if args.action == "warm":
+        names = args.graphs or suite_specs()
+        for name in names:
+            prepared = cache.prepare_suite(name, args.scale)
+            for seed in args.seeds:
+                cache.warm_start(prepared, seed)
+            state = "hit" if prepared.from_cache else "built"
+            print(f"{name:<16} {state:<5} {prepared.key[:12]} "
+                  f"n={prepared.graph.num_vertices:,} nnz={prepared.graph.nnz:,} "
+                  f"seeds={args.seeds}")
+        print(f"store: {cache.total_bytes:,} bytes in {len(cache.entries())} "
+              f"entr{'y' if len(cache.entries()) == 1 else 'ies'} at {cache.root}")
+        return 0
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"{cache.root}: empty cache")
+            return 0
+        for e in entries:
+            if "corrupt" in e:
+                print(f"{e['key'][:12]}  CORRUPT: {e['corrupt']}")
+                continue
+            seeds = f" ks-seeds={e['warm_seeds']}" if e.get("warm_seeds") else ""
+            print(f"{e['key'][:12]}  {e['bytes']:>12,} B  lru-seq={e['seq']:<6} "
+                  f"{e['kind']}: {e['source']} (n_x={e['n_x']:,} n_y={e['n_y']:,} "
+                  f"nnz={e['nnz']:,}){seeds}")
+        print(f"total: {cache.total_bytes:,} bytes in {len(entries)} entries "
+              f"(cap {cache.max_bytes:,})")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    # verify: deep checksum pass
+    problems = cache.verify()
+    checked = len(cache.entries())
+    for key, problem in problems:
+        print(f"{key[:12]}: {problem}")
+    if problems:
+        print(f"{len(problems)}/{checked} entries corrupt", file=sys.stderr)
+        return 1
+    print(f"verified {checked} entr{'y' if checked == 1 else 'ies'}: "
+          f"all checksums match")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -485,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-out", default=None,
                        help="write run metrics here in Prometheus text "
                             "exposition format")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="content-addressed graph cache directory; warm "
+                            "entries skip generator/ingest work entirely "
+                            "(see 'repro-match cache')")
     p_run.set_defaults(fn=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="print the Table II suite report")
@@ -554,6 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "counters + engine metrics) here in Prometheus "
                               "text format; also appends telemetry spans to "
                               "the run directory's events.jsonl")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="resolve job graphs through this "
+                              "content-addressed cache directory")
     p_batch.set_defaults(fn=_cmd_batch)
 
     p_gen = sub.add_parser("generate", help="write a suite graph to .mtx or .npz")
@@ -588,6 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bk.add_argument("--out", default=None,
                       help="write the validated JSON document here "
                            "(e.g. benchmarks/BENCH_kernels.json)")
+    p_bk.add_argument("--cache-dir", default=None,
+                      help="resolve bench inputs through this "
+                           "content-addressed cache directory")
     p_bk.set_defaults(fn=_cmd_bench_kernels)
 
     p_trace = sub.add_parser(
@@ -611,6 +708,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--min-coverage", type=float, default=0.0,
                          help="fail (exit 1) if phase/setup spans cover less "
                               "than this fraction of the run span (e.g. 0.95)")
+    p_trace.add_argument("--cache-dir", default=None,
+                         help="content-addressed graph cache directory; on a "
+                              "warm entry the trace contains no build span")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_pc = sub.add_parser(
@@ -635,6 +735,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of re-timing (passing the baseline itself "
                            "must exit 0)")
     p_pc.set_defaults(fn=_cmd_perf_check)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="manage the content-addressed graph-preparation cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    cache_common = argparse.ArgumentParser(add_help=False)
+    cache_common.add_argument("--cache-dir", required=True,
+                              help="cache root directory")
+    p_cw = cache_sub.add_parser(
+        "warm", parents=[cache_common],
+        help="prebuild suite graphs (and Karp-Sipser warm starts) into the cache",
+    )
+    p_cw.add_argument("--graphs", nargs="+", default=None, choices=suite_specs(),
+                      help="suite graphs to warm (default: all)")
+    p_cw.add_argument("--scale", type=float, default=0.3,
+                      help="suite scale to warm (matches 'run' default)")
+    p_cw.add_argument("--seeds", type=int, nargs="+", default=[0],
+                      help="initialiser seeds to precompute warm starts for")
+    p_cw.add_argument("--max-bytes", type=int, default=None,
+                      help="LRU size cap for the store (default 512 MiB)")
+    cache_sub.add_parser("ls", parents=[cache_common],
+                         help="list entries, least-recently-used first")
+    cache_sub.add_parser("clear", parents=[cache_common],
+                         help="delete every cache entry")
+    cache_sub.add_parser(
+        "verify", parents=[cache_common],
+        help="deep integrity pass: SHA-256 every stored array against meta.json",
+    )
+    p_cache.set_defaults(fn=_cmd_cache)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint rules (REP001-REP003)")
     p_lint.add_argument("paths", nargs="*",

@@ -28,6 +28,7 @@ from typing import Generator, Iterable, List, Optional
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.forest import ForestState
 from repro.core.options import GraftOptions
 from repro.errors import InvariantViolation, ReproError
@@ -131,11 +132,12 @@ def _run_interleaved(
             monitor.bind(sim=sim, graph=graph, state=state, matching=matching)
         alpha = options.alpha
         edges = 0
-        deg_x = np.diff(graph.x_ptr)
-        deg_y = np.diff(graph.y_ptr)
+        deg_x = graph.deg_x
+        state.attach_degrees(graph.deg_y)
         path_bound = 2 * (graph.n_x + graph.n_y) + 1
-        # Initial frontier: all unmatched X vertices become tree roots.
-        frontier = matching.unmatched_x()
+        # Initial frontier: all unmatched X vertices become tree roots
+        # (seeds the state's persistent unmatched-X list).
+        frontier = state.refresh_seeds(matching)
         root_x[frontier] = frontier
         leaf[frontier] = UNMATCHED
 
@@ -144,8 +146,7 @@ def _run_interleaved(
             return True
         if options.direction_strategy == "edge":
             frontier_edges = int(deg_x[frontier].sum())
-            unvisited_edges = int(deg_y[state.visited == 0].sum())
-            return frontier_edges < unvisited_edges / alpha
+            return frontier_edges < state.unvisited_deg / alpha
         return frontier.size < state.num_unvisited_y / alpha
 
     def topdown_program(x: int, ts: SimThreadState) -> Generator[None, None, None]:
@@ -172,7 +173,7 @@ def _run_interleaved(
             # The claim won: this thread owns y's pointers.
             sh_parent.store(y, x)
             sh_root_y.store(y, rx)
-            state.num_unvisited_y -= 1
+            state.count_visit(y)
             mate = sh_mate_y.load(y)
             if mate != UNMATCHED:
                 sh_root_x.store(mate, rx)
@@ -191,7 +192,7 @@ def _run_interleaved(
                 continue
             # y is owned by this thread: plain store, no atomic needed.
             if not visited.load(y):
-                state.num_unvisited_y -= 1
+                state.count_visit(y)
             visited.store(y, 1)
             sh_parent.store(y, x)
             sh_root_y.store(y, rx)
@@ -243,12 +244,13 @@ def _run_interleaved(
             else:
                 counters.bottomup_steps += 1
                 with tel.step("bottomup"):
-                    rows = np.flatnonzero(state.visited == 0)
+                    rows = state.unvisited_candidates()
                     frontier = run_region(rows, bottomup_program)
                 tel.count_level(
                     "bottomup", claims=unvisited_before - state.num_unvisited_y
                 )
             tel.count_edges(edges - edges_before)
+            tel.observe_candidates(state.num_unvisited_y)
 
         # Step 2: augment (paths are vertex-disjoint; order is irrelevant).
         augmented = 0
@@ -284,9 +286,9 @@ def _run_interleaved(
             active_y = np.flatnonzero(state.active_y_mask())
             renewable_y = np.flatnonzero(state.renewable_y_mask())
         with tel.step("grafting"):
-            state.visited[renewable_y] = 0
-            root_y[renewable_y] = UNMATCHED
-            state.num_unvisited_y += int(renewable_y.size)
+            # Serial recycling goes through the state helpers so the packed
+            # mirror, candidate list, and direction counters stay exact.
+            kernels.reset_rows(state, renewable_y)
             if options.grafting and active_x_count > renewable_y.size / alpha:
                 before = state.num_unvisited_y
                 edges_before = edges
@@ -295,13 +297,8 @@ def _run_interleaved(
                 counters.grafts += before - state.num_unvisited_y
             else:
                 counters.tree_rebuilds += 1
-                state.visited[active_y] = 0
-                root_y[active_y] = UNMATCHED
-                state.num_unvisited_y += int(active_y.size)
-                root_x[:] = UNMATCHED
-                frontier = matching.unmatched_x()
-                root_x[frontier] = frontier
-                leaf[frontier] = UNMATCHED
+                kernels.reset_rows(state, active_y)
+                frontier = kernels.rebuild_from_unmatched(state, matching)
         if options.check_invariants:
             state.check_invariants(graph, matching)
         if monitor is not None:

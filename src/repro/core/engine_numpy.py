@@ -20,7 +20,7 @@ import numpy as np
 from repro.core import kernels
 from repro.core.forest import ForestState
 from repro.core.options import GraftOptions
-from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
+from repro.graph.csr import BipartiteCSR
 from repro.instrument.counters import Counters
 from repro.instrument.frontier import FrontierLog
 from repro.matching.base import MatchResult, Matching, init_matching
@@ -65,18 +65,21 @@ def _run_numpy(
         state = ForestState.for_graph(graph)
         state.observer = observer
         workspace = kernels.KernelWorkspace.for_graph(graph)
+        workspace.want_costs = trace is not None
         alpha = options.alpha
-        deg_x = np.diff(graph.x_ptr)
-        deg_y = np.diff(graph.y_ptr)
+        deg_x = graph.deg_x
+        state.attach_degrees(graph.deg_y)
         frontier = kernels.rebuild_from_unmatched(state, matching)
 
     def prefer_top_down(frontier: np.ndarray) -> bool:
         if not options.direction_optimizing:
             return True
         if options.direction_strategy == "edge":
+            # state.unvisited_deg is the running sum of unvisited-Y degrees,
+            # so the switch costs O(|frontier|) instead of an O(n_y) masked
+            # sum per level.
             frontier_edges = int(deg_x[frontier].sum())
-            unvisited_edges = int(deg_y[state.visited == 0].sum())
-            return frontier_edges < unvisited_edges / alpha
+            return frontier_edges < state.unvisited_deg / alpha
         return frontier.size < state.num_unvisited_y / alpha
 
     while True:
@@ -111,7 +114,7 @@ def _run_numpy(
             else:
                 counters.bottomup_steps += 1
                 with timer.step("bottomup"), tel.step("bottomup"):
-                    rows = np.flatnonzero(state.visited == 0).astype(INDEX_DTYPE)
+                    rows = state.unvisited_candidates()
                     stats = kernels.bottomup_level(graph, state, matching, rows, workspace)
                 tel.count_level("bottomup", claims=stats.claims)
                 if trace is not None:
@@ -122,25 +125,25 @@ def _run_numpy(
                     )
             counters.edges_traversed += stats.edges
             tel.count_edges(stats.edges)
+            tel.observe_candidates(state.num_unvisited_y)
             frontier = stats.next_frontier
 
         # --- Step 2: augment along the discovered paths ---------------- #
         with timer.step("augment"), tel.step("augment"):
             roots, lengths = kernels.augment_all(state, matching)
-        for length in lengths:
-            counters.record_path(length)
-        if trace is not None and lengths:
+        counters.record_paths(lengths)
+        if trace is not None and lengths.size:
             trace.add(
                 "augment",
-                np.asarray(lengths, dtype=np.float64),
+                lengths.astype(np.float64),
                 memory_pattern="irregular",
             )
-        if not lengths:
+        if lengths.size == 0:
             break  # no augmenting path in this phase: maximum reached
 
         # --- Step 3: rebuild the frontier (GRAFT) ---------------------- #
         with timer.step("statistics"), tel.step("statistics"):
-            gstats = kernels.graft_partition(state)
+            gstats = kernels.graft_partition(state, tracked=True)
         if trace is not None:
             trace.add_uniform("statistics", graph.n_x + graph.n_y, 1.0)
         with timer.step("grafting"), tel.step("grafting"):

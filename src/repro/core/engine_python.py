@@ -157,6 +157,7 @@ def _run_python(
                     frontier = bottomup(rows)
                 tel.count_level("bottomup", claims=unvisited_before - num_unvisited)
             tel.count_edges(edges - edges_before)
+            tel.observe_candidates(num_unvisited)
 
         # --- Step 2: augment along the discovered paths ---------------- #
         augmented = 0

@@ -19,6 +19,13 @@ Implementation notes on the fast path:
   serialisation a first-come-first-served CAS would impose.
 * Kernels accept an optional :class:`KernelWorkspace` so the per-level
   scratch arrays are allocated once per run, not once per level.
+* Per-level work is proportional to the level, never to the graph: tree
+  membership is derived per frontier vertex / per gathered edge instead of
+  via the O(n_x) ``active_x_mask`` gather, visited pre-checks test the
+  bit-packed ``visited_words`` mirror (:mod:`repro.core.bitset`,
+  re-exported here), and all visited transitions go through
+  ``ForestState.mark_visited``/``clear_visited`` so the incremental
+  candidate list and direction counters stay exact.
 * Augmentation advances all discovered augmenting paths in lockstep
   (:func:`augment_all`): the paths are vertex-disjoint, so the per-step
   scatter writes never conflict — the same argument that lets the paper
@@ -36,10 +43,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bitset import (  # noqa: F401  (re-exported kernel helpers)
+    bitset_clear,
+    bitset_count,
+    bitset_set,
+    bitset_test,
+    bitset_words,
+)
 from repro.core.forest import ForestState
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
 from repro.matching.base import UNMATCHED, Matching
 from repro.parallel.shared import READ, WRITE
+
+
+def _active_tree_mask(state: ForestState, vertices: np.ndarray) -> np.ndarray:
+    """Active-tree membership of ``vertices`` in O(len(vertices)).
+
+    Same predicate as ``state.active_x_mask()`` but computed only for the
+    queried vertices — the full-mask gather is O(n_x) per call, which used
+    to dominate shallow levels on large graphs.
+    """
+    rx = state.root_x[vertices]
+    safe = np.where(rx >= 0, rx, 0)
+    return (rx != UNMATCHED) & (state.leaf[safe] == UNMATCHED)
 
 
 class KernelWorkspace:
@@ -48,20 +74,34 @@ class KernelWorkspace:
     ``slot_x`` / ``slot_y`` back the :func:`first_claim` scatter; their
     contents are meaningless between calls (every slot that is read was
     written earlier in the same call), so no per-level clearing is needed.
+    ``iota`` is a precomputed ``arange`` sliced instead of re-filled on
+    every segment gather. ``want_costs`` lets the engine skip per-item
+    cost vectors when no work trace is being emitted.
     """
 
-    __slots__ = ("slot_x", "slot_y")
+    __slots__ = ("slot_x", "slot_y", "iota", "want_costs")
 
-    def __init__(self, n_x: int, n_y: int) -> None:
+    def __init__(self, n_x: int, n_y: int, max_edges: int = 0) -> None:
         self.slot_x = np.empty(n_x, dtype=np.int64)
         self.slot_y = np.empty(n_y, dtype=np.int64)
+        self.iota = np.arange(max(n_x, n_y, max_edges), dtype=np.int64)
+        self.want_costs = True
 
     @classmethod
     def for_graph(cls, graph: BipartiteCSR) -> "KernelWorkspace":
-        return cls(graph.n_x, graph.n_y)
+        return cls(graph.n_x, graph.n_y, graph.nnz)
+
+    def order(self, k: int) -> np.ndarray:
+        """``arange(k)`` as a view of the precomputed buffer (grown on
+        demand for callers whose index range exceeds the graph's)."""
+        if k > self.iota.shape[0]:
+            self.iota = np.arange(max(k, 2 * self.iota.shape[0]), dtype=np.int64)
+        return self.iota[:k]
 
 
-def first_claim(targets: np.ndarray, slot: np.ndarray) -> np.ndarray:
+def first_claim(
+    targets: np.ndarray, slot: np.ndarray, ws: KernelWorkspace | None = None
+) -> np.ndarray:
     """First-writer-wins claim resolution in O(len(targets)).
 
     Returns a boolean mask selecting, for every distinct value in
@@ -70,7 +110,8 @@ def first_claim(targets: np.ndarray, slot: np.ndarray) -> np.ndarray:
     indexable by every target value; only the slots touched here are read,
     so it never needs clearing.
     """
-    order = np.arange(targets.shape[0], dtype=np.int64)
+    k = targets.shape[0]
+    order = ws.order(k) if ws is not None else np.arange(k, dtype=np.int64)
     # Reversed scatter: the last write per slot is the *first* occurrence.
     slot[targets[::-1]] = order[::-1]
     return slot[targets] == order
@@ -91,6 +132,10 @@ class LevelStats:
     """Unmatched Y vertices reached (augmenting paths discovered)."""
 
 
+_NO_COSTS = np.empty(0)
+"""Shared placeholder when the caller is not emitting a work trace."""
+
+
 def _empty_stats() -> LevelStats:
     return LevelStats(
         next_frontier=np.empty(0, dtype=INDEX_DTYPE),
@@ -102,26 +147,46 @@ def _empty_stats() -> LevelStats:
     )
 
 
-def _gather_segments(ptr: np.ndarray, adj: np.ndarray, rows: np.ndarray):
+def _segment_slots(
+    base: np.ndarray, deg: np.ndarray, ws: KernelWorkspace | None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Flatten per-row slices ``[base[r], base[r]+deg[r])`` into one index
+    vector. Returns ``(slot, offsets, total)``."""
+    offsets = np.empty(deg.shape[0] + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(deg, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), offsets, 0
+    # Flat position k belongs to row r with offsets[r] <= k < offsets[r+1]
+    # and maps to base[r] + (k - offsets[r]): a per-row constant shift of k,
+    # so one repeat plus a precomputed arange covers the whole gather.
+    iota = ws.order(total) if ws is not None else np.arange(total, dtype=np.int64)
+    slot = iota + np.repeat(base - offsets[:-1], deg)
+    return slot, offsets, total
+
+
+def _gather_segments(
+    ptr: np.ndarray,
+    adj: np.ndarray,
+    rows: np.ndarray,
+    need_sources: bool = True,
+    ws: KernelWorkspace | None = None,
+):
     """Concatenate the adjacency slices of ``rows``.
 
     Returns ``(sources, targets, offsets)`` where ``sources[k]`` is the row
     owning edge slot ``k``, ``targets[k]`` its neighbour, and ``offsets``
-    the per-row segment boundaries (len(rows)+1).
+    the per-row segment boundaries (len(rows)+1). ``sources`` is ``None``
+    when ``need_sources`` is false — bottom-up only needs it for the race
+    observer, and the extra O(edges) ``repeat`` is measurable.
     """
     deg = ptr[rows + 1] - ptr[rows]
-    total = int(deg.sum())
-    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(deg)])
+    slot, offsets, total = _segment_slots(ptr[rows], deg, ws)
     if total == 0:
-        return (
-            np.empty(0, dtype=INDEX_DTYPE),
-            np.empty(0, dtype=INDEX_DTYPE),
-            offsets,
-        )
-    # Edge slot k belongs to row r with offsets[r] <= k < offsets[r+1]; its
-    # position in adj is ptr[rows[r]] + (k - offsets[r]).
-    sources = np.repeat(rows, deg)
-    slot = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], deg) + np.repeat(ptr[rows], deg)
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return (empty if need_sources else None), empty, offsets
+    sources = np.repeat(rows, deg) if need_sources else None
     return sources, adj[slot], offsets
 
 
@@ -142,22 +207,27 @@ def topdown_level(
     obs = state.observer
     frontier = np.asarray(frontier, dtype=INDEX_DTYPE)
     if frontier.size:
-        active = state.active_x_mask()[frontier]
-        frontier = frontier[active]
+        frontier = frontier[_active_tree_mask(state, frontier)]
     if frontier.size == 0:
         return _empty_stats()
     if obs is not None:
         obs.begin_region("topdown")
-    src, dst, offsets = _gather_segments(graph.x_ptr, graph.x_adj, frontier)
+    src, dst, offsets = _gather_segments(graph.x_ptr, graph.x_adj, frontier, ws=ws)
     edges = int(dst.shape[0])
-    item_costs = np.diff(offsets).astype(np.float64) + 1.0
+    if ws.want_costs:
+        item_costs = np.diff(offsets).astype(np.float64) + 1.0
+    else:
+        item_costs = _NO_COSTS
+    # Pre-check on the visited bytes: at this scale the plain byte gather
+    # beats bit extraction from the packed words (see docs/performance.md);
+    # the words stay the claim mirror that mark_visited maintains.
     unvis = state.visited[dst] == 0
     src_u = src[unvis]
     dst_u = dst[unvis]
     attempts = int(dst_u.shape[0])
     if attempts:
         # First occurrence per target = the winning atomic claim.
-        win = first_claim(dst_u, ws.slot_y)
+        win = first_claim(dst_u, ws.slot_y, ws)
         winners = dst_u[win]
         claim_src = src_u[win]
         if obs is not None:
@@ -194,30 +264,86 @@ def bottomup_level(
         return _empty_stats()
     if obs is not None:
         obs.begin_region(region)
-    src, dst, offsets = _gather_segments(graph.y_ptr, graph.y_adj, rows)
-    active_edge = state.active_x_mask()[dst] if dst.size else np.empty(0, dtype=bool)
-    # First active neighbour per row, via the sorted indices of active edges.
-    hit_positions = np.flatnonzero(active_edge)
-    starts = offsets[:-1]
-    ends = offsets[1:]
-    pos = np.searchsorted(hit_positions, starts)
-    safe_pos = np.minimum(pos, max(hit_positions.shape[0] - 1, 0))
-    has_hit = (pos < hit_positions.shape[0]) & (
-        hit_positions[safe_pos] < ends if hit_positions.size else np.zeros(rows.shape, dtype=bool)
-    )
-    first_edge = hit_positions[safe_pos] if hit_positions.size else np.zeros(rows.shape, dtype=np.int64)
-    deg = (ends - starts).astype(np.float64)
-    scanned = np.where(has_hit, (first_edge - starts + 1).astype(np.float64), deg)
-    edges = int(scanned.sum())
-    item_costs = scanned + 1.0
-    winners = rows[has_hit]
-    claim_src = dst[first_edge[has_hit]] if winners.size else np.empty(0, dtype=INDEX_DTYPE)
-    if obs is not None and dst.size:
-        # The scan's racy root_x/leaf reads (stale membership is benign) and
-        # the owned-row visited store (no atomic needed, Section III-B).
-        obs.record_bulk("root_x", dst, READ, False, src)
-        if winners.size:
-            obs.record_bulk("visited", winners, WRITE, False, winners)
+    ptr, adj = graph.y_ptr, graph.y_adj
+    row_start = ptr[rows]
+    deg_all = ptr[rows + 1] - row_start
+    total_deg = int(deg_all.sum())
+    # Tree membership is frozen at level start (the paper's level-synchronous
+    # semantics), so the mask can be built once up front. The full O(n_x)
+    # build amortizes over every chunk when the edge volume is large; tiny
+    # row sets use the per-vertex predicate instead.
+    full_mask = state.active_x_mask() if total_deg >= state.n_x // 2 else None
+
+    # A row stops scanning at its first active neighbour, so gathering every
+    # edge up front does ~2.7x the necessary work on the acceptance inputs
+    # (docs/performance.md). Instead the scan proceeds in geometrically
+    # growing chunks of neighbour positions: rows that hit early — the
+    # common case once trees cover the graph — never pay for their tails,
+    # while deep rows converge to the single full gather within ~5 rounds.
+    n = int(rows.shape[0])
+    claim_of = np.full(n, UNMATCHED, dtype=INDEX_DTYPE)
+    track = ws.want_costs
+    scanned = np.zeros(n, dtype=np.int64) if track else None
+    edges = 0
+    # Live state is carried compacted — positions into ``rows`` plus each
+    # row's next adjacency slot and remaining degree — so a round costs
+    # O(live rows + gathered edges) with no full-width passes.
+    idx_l = np.flatnonzero(deg_all > 0)
+    start_l = row_start[idx_l]
+    rem_l = deg_all[idx_l]
+    # Regular bottom-up rows sit under tree-covered neighbourhoods and hit
+    # on the very first edges, so the schedule starts tiny. Grafting rows
+    # were just recycled because their trees died — their neighbourhoods
+    # are mostly dead too and the typical row scans a large fraction of its
+    # adjacency, so starting at the row set's mean degree resolves most
+    # rows in one round instead of paying per-round compaction ~log(deg)
+    # times (measured ~2ms on the rmat-14 acceptance input; a single full
+    # gather is worse again, hub tails dominate).
+    if region == "grafting":
+        chunk = max(4, min(512, total_deg // max(n, 1)))
+    else:
+        chunk = 4
+    while idx_l.size:
+        take = np.minimum(rem_l, chunk)
+        slot, offsets, total = _segment_slots(start_l, take, ws)
+        dst = adj[slot]
+        if full_mask is not None:
+            active_edge = full_mask[dst]
+        elif total:
+            active_edge = _active_tree_mask(state, dst)
+        else:
+            active_edge = np.empty(0, dtype=bool)
+        if obs is not None and total:
+            obs.record_bulk("root_x", dst, READ, False, np.repeat(rows[idx_l], take))
+        # First active neighbour per row via the sorted active-edge indices.
+        hit_positions = np.flatnonzero(active_edge)
+        starts = offsets[:-1]
+        if hit_positions.size:
+            pos = np.searchsorted(hit_positions, starts)
+            safe_pos = np.minimum(pos, hit_positions.shape[0] - 1)
+            first_edge = hit_positions[safe_pos]
+            has_hit = (pos < hit_positions.shape[0]) & (first_edge < offsets[1:])
+            cost = np.where(has_hit, first_edge - starts + 1, take)
+            claim_of[idx_l[has_hit]] = dst[first_edge[has_hit]]
+        else:
+            has_hit = None
+            cost = take
+        edges += int(cost.sum())
+        if track:
+            scanned[idx_l] += cost
+        keep = rem_l > take if has_hit is None else ~has_hit & (rem_l > take)
+        idx_l = idx_l[keep]
+        start_l = (start_l + take)[keep]
+        rem_l = (rem_l - take)[keep]
+        chunk *= 4
+
+    has_hit_all = claim_of != UNMATCHED
+    winners = rows[has_hit_all]
+    claim_src = claim_of[has_hit_all]
+    item_costs = scanned.astype(np.float64) + 1.0 if track else _NO_COSTS
+    if obs is not None and winners.size:
+        # Owned-row visited store: no atomic needed (Section III-B).
+        obs.record_bulk("visited", winners, WRITE, False, winners)
     return _apply_claims(
         state, matching, winners, claim_src, winners, item_costs, edges, 0, ws
     )
@@ -244,17 +370,22 @@ def _apply_claims(
     claims = int(winners.shape[0])
     if claims:
         roots = state.root_x[claim_src]
-        state.visited[winners] = 1
+        state.mark_visited(winners)
         state.parent[winners] = claim_src
         state.root_y[winners] = roots
-        state.num_unvisited_y -= claims
         if obs is not None:
             obs.record_bulk("parent", winners, WRITE, False, claim_threads)
             obs.record_bulk("root_y", winners, WRITE, False, claim_threads)
         mates = matching.mate_y[winners]
         matched = mates != UNMATCHED
-        next_frontier = mates[matched].astype(INDEX_DTYPE)
+        next_frontier = mates[matched].astype(INDEX_DTYPE, copy=False)
         state.root_x[next_frontier] = roots[matched]
+        # Incremental tree membership: winners joined a tree on the Y side,
+        # their mates on the X side. graft_partition(tracked=True) partitions
+        # exactly these vertices instead of scanning both full sides.
+        state.tree_y_parts.append(winners)
+        if next_frontier.size:
+            state.tree_x_parts.append(next_frontier)
         if obs is not None and next_frontier.size:
             obs.record_bulk("root_x", next_frontier, WRITE, False, claim_threads[matched])
         # Unmatched winners end augmenting paths; one leaf survives per tree
@@ -263,7 +394,7 @@ def _apply_claims(
         endpoint_y = winners[~matched]
         endpoint_roots = roots[~matched]
         if endpoint_y.size:
-            win = first_claim(endpoint_roots, ws.slot_x)
+            win = first_claim(endpoint_roots, ws.slot_x, ws)
             state.leaf[endpoint_roots[win]] = endpoint_y[win]
             endpoints = int(np.count_nonzero(win))
             if obs is not None:
@@ -287,10 +418,12 @@ def _apply_claims(
 
 def augment_all(
     state: ForestState, matching: Matching
-) -> tuple[np.ndarray, list[int]]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Step 2 of Algorithm 3: flip every discovered augmenting path.
 
-    Returns ``(renewable_roots, path_lengths)``. Paths are vertex-disjoint
+    Returns ``(renewable_roots, path_lengths)`` — both arrays, so callers
+    recording thousands of paths per phase stay vectorized end to end.
+    Paths are vertex-disjoint
     (one per tree, trees vertex-disjoint), so all of them advance in
     lockstep: each iteration flips one matched edge on every still-live
     path with conflict-free scatter writes. The per-path pointer chasing is
@@ -306,7 +439,7 @@ def augment_all(
     if roots.size and obs is not None:
         obs.begin_region("augment")
     live = np.arange(roots.shape[0])
-    y = state.leaf[roots].astype(INDEX_DTYPE)
+    y = state.leaf[roots].astype(INDEX_DTYPE, copy=False)
     while live.size:
         x = parent[y]
         prev_mate = mate_x[x]
@@ -319,8 +452,8 @@ def augment_all(
         cont = prev_mate != UNMATCHED
         live = live[cont]
         lengths[live] += 1
-        y = prev_mate[cont].astype(INDEX_DTYPE)
-    return roots, lengths.tolist()
+        y = prev_mate[cont].astype(INDEX_DTYPE, copy=False)
+    return roots, lengths
 
 
 @dataclass
@@ -338,7 +471,17 @@ def graft_statistics(state: ForestState) -> GraftStats:
     return graft_partition(state, recycle=False)
 
 
-def graft_partition(state: ForestState, *, recycle: bool = True) -> GraftStats:
+def _concat_parts(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def graft_partition(
+    state: ForestState, *, recycle: bool = True, tracked: bool = False
+) -> GraftStats:
     """Fused GRAFT statistics + renewable-Y recycling (Alg. 7 lines 2-6).
 
     One pass over each side partitions vertices into active / renewable,
@@ -346,7 +489,32 @@ def graft_partition(state: ForestState, *, recycle: bool = True) -> GraftStats:
     ``recycle`` is set — resets the renewable Y rows (visited flag, root)
     so they can be re-claimed, all without re-deriving the ``leaf`` gather
     per query the way the individual mask helpers do.
+
+    With ``tracked`` the partition runs over the state's incremental tree
+    membership lists (``tree_x_parts`` / ``tree_y_parts``) instead of both
+    full vertex ranges — O(tree vertices) per phase rather than O(n_x+n_y).
+    Only valid when every forest update since the last partition went
+    through these kernels (the numpy engine's flow); ad-hoc states built by
+    tests or the interleaved programs must use the default full scan.
     """
+    if tracked:
+        tx = _concat_parts(state.tree_x_parts)
+        renew_tx = state.leaf[state.root_x[tx]] != UNMATCHED
+        state.root_x[tx[renew_tx]] = UNMATCHED
+        active_x = tx[~renew_tx]
+        ty = _concat_parts(state.tree_y_parts)
+        renew_ty = state.leaf[state.root_y[ty]] != UNMATCHED
+        active_y = ty[~renew_ty]
+        renewable_y = ty[renew_ty]
+        state.tree_x_parts = [active_x]
+        state.tree_y_parts = [active_y]
+        if recycle:
+            reset_rows(state, renewable_y)
+        return GraftStats(
+            active_x_count=int(active_x.shape[0]),
+            active_y=active_y,
+            renewable_y=renewable_y,
+        )
     rooted_x = state.root_x != UNMATCHED
     safe_x = np.where(rooted_x, state.root_x, 0)
     renewable_mask_x = rooted_x & (state.leaf[safe_x] != UNMATCHED)
@@ -363,17 +531,29 @@ def graft_partition(state: ForestState, *, recycle: bool = True) -> GraftStats:
 
 
 def reset_rows(state: ForestState, rows: np.ndarray) -> None:
-    """Clear visited flags and roots of ``rows`` (renewable-Y recycling)."""
+    """Clear visited flags and roots of ``rows`` (renewable-Y recycling).
+
+    Routed through :meth:`ForestState.clear_visited`, so recycled rows
+    re-enter the incremental candidate list in place — the next bottom-up
+    level sees them without any rescan.
+    """
     if rows.size:
-        state.visited[rows] = 0
+        state.clear_visited(rows)
         state.root_y[rows] = UNMATCHED
-        state.num_unvisited_y += int(rows.shape[0])
 
 
 def rebuild_from_unmatched(state: ForestState, matching: Matching) -> np.ndarray:
-    """The destroy-and-rebuild branch of Algorithm 7 (lines 10-15)."""
+    """The destroy-and-rebuild branch of Algorithm 7 (lines 10-15).
+
+    The root frontier comes from the state's persistent unmatched-X seed
+    list (:meth:`ForestState.refresh_seeds`): O(n_x) on the first call of a
+    run, O(remaining seeds) afterwards.
+    """
     state.root_x[:] = UNMATCHED
-    frontier = matching.unmatched_x()
+    frontier = state.refresh_seeds(matching)
     state.root_x[frontier] = frontier
     state.leaf[frontier] = UNMATCHED
+    # All trees were just destroyed: the seeds are the only tree members.
+    state.tree_x_parts = [frontier]
+    state.tree_y_parts = []
     return frontier

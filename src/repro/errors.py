@@ -77,6 +77,18 @@ class TransientEngineError(ServiceError):
     """
 
 
+class CacheError(ReproError):
+    """Raised by the content-addressed graph cache (:mod:`repro.cache`)."""
+
+
+class CacheCorruptionError(CacheError):
+    """A cache entry failed an integrity check (size, checksum, or header).
+
+    Lookups treat this as a miss and rebuild; it only escapes to callers of
+    the explicit ``verify`` API.
+    """
+
+
 class InvariantViolation(AnalysisError):
     """Raised when a runtime invariant of the matching engine is broken.
 

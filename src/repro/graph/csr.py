@@ -36,7 +36,10 @@ class BipartiteCSR:
     ready-made CSR arrays and (by default) validates their consistency.
     """
 
-    __slots__ = ("n_x", "n_y", "x_ptr", "x_adj", "y_ptr", "y_adj", "_adj_lists")
+    __slots__ = (
+        "n_x", "n_y", "x_ptr", "x_adj", "y_ptr", "y_adj", "_adj_lists",
+        "_deg_x", "_deg_y",
+    )
 
     def __init__(
         self,
@@ -56,6 +59,8 @@ class BipartiteCSR:
         self.y_ptr = np.ascontiguousarray(y_ptr, dtype=INDEX_DTYPE)
         self.y_adj = np.ascontiguousarray(y_adj, dtype=INDEX_DTYPE)
         self._adj_lists = None  # lazy cache used by repro.matching._common
+        self._deg_x = None  # lazy degree-vector caches (deg_x/deg_y props)
+        self._deg_y = None
         # Freeze the arrays: algorithms share graphs across runs and threads,
         # so accidental mutation would be a hard-to-find bug.
         for arr in (self.x_ptr, self.x_adj, self.y_ptr, self.y_adj):
@@ -82,16 +87,39 @@ class BipartiteCSR:
         """``m = 2 * nnz`` — the paper's edge count convention."""
         return 2 * self.nnz
 
+    @property
+    def deg_x(self) -> np.ndarray:
+        """Cached, read-only X degree vector.
+
+        Every engine run (and the cache's precompute step) needs the full
+        degree vectors for the direction cost model; computing ``np.diff``
+        once per graph instead of once per run keeps that off the hot path.
+        """
+        if self._deg_x is None:
+            deg = np.diff(self.x_ptr)
+            deg.setflags(write=False)
+            self._deg_x = deg
+        return self._deg_x
+
+    @property
+    def deg_y(self) -> np.ndarray:
+        """Cached, read-only Y degree vector (see :attr:`deg_x`)."""
+        if self._deg_y is None:
+            deg = np.diff(self.y_ptr)
+            deg.setflags(write=False)
+            self._deg_y = deg
+        return self._deg_y
+
     def degree_x(self, x: int | None = None) -> np.ndarray | int:
         """Degree of X vertex ``x``, or the full degree vector if ``None``."""
         if x is None:
-            return np.diff(self.x_ptr)
+            return self.deg_x
         return int(self.x_ptr[x + 1] - self.x_ptr[x])
 
     def degree_y(self, y: int | None = None) -> np.ndarray | int:
         """Degree of Y vertex ``y``, or the full degree vector if ``None``."""
         if y is None:
-            return np.diff(self.y_ptr)
+            return self.deg_y
         return int(self.y_ptr[y + 1] - self.y_ptr[y])
 
     def neighbors_x(self, x: int) -> np.ndarray:

@@ -13,6 +13,9 @@ Augmenting path length is counted in edges (always odd).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -39,6 +42,17 @@ class Counters:
         self.augmentations += 1
         self.total_augmenting_path_length += length_edges
         self.path_lengths.append(length_edges)
+
+    def record_paths(self, lengths: Sequence[int] | np.ndarray) -> None:
+        """Record a batch of augmentations (one call per phase, not per path)."""
+        arr = np.asarray(lengths, dtype=np.int64)
+        invalid = (arr < 1) | (arr % 2 == 0)
+        if invalid.any():
+            bad = arr[invalid][:5].tolist()
+            raise ValueError(f"augmenting path lengths must be odd and >= 1, got {bad}")
+        self.augmentations += int(arr.size)
+        self.total_augmenting_path_length += int(arr.sum())
+        self.path_lengths.extend(arr.tolist())
 
     @property
     def avg_augmenting_path_length(self) -> float:

@@ -92,6 +92,7 @@ class BatchExecutor:
         jitter_seed: int = 0,
         telemetry: Optional[object] = None,
         progress: Optional[Callable[[str], None]] = None,
+        cache: Optional[object] = None,
     ) -> None:
         self.run_dir = run_dir if isinstance(run_dir, RunDirectory) else RunDirectory(run_dir)
         self.retry = retry
@@ -101,6 +102,8 @@ class BatchExecutor:
         self._rng = as_rng(jitter_seed)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.progress = progress
+        self.cache = cache
+        """Optional :class:`repro.cache.GraphCache` for graph resolution."""
 
     # ------------------------------------------------------------------ #
     # public API
@@ -172,7 +175,7 @@ class BatchExecutor:
         if entry is None:
             return None
         try:
-            graph = resolve_graph(spec)
+            graph = resolve_graph(spec, cache=self.cache)
             matching = self.run_dir.load_checkpoint(spec.job_id)
             verify_maximum(graph, matching)
             if matching.cardinality != entry["cardinality"]:
@@ -208,7 +211,7 @@ class BatchExecutor:
     def _execute(self, spec: JobSpec, log: EventLog, injector: FaultInjector) -> JobOutcome:
         started = self.clock.now()
         try:
-            graph = resolve_graph(spec)
+            graph = resolve_graph(spec, cache=self.cache)
         except Exception as exc:  # noqa: BLE001 - reader errors are per-job, not batch
             log.emit(ev.JOB_FAILED, spec.job_id, error=str(exc), stage="resolve-graph")
             return JobOutcome(spec=spec, status="failed", error=str(exc))

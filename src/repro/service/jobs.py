@@ -122,16 +122,28 @@ class JobSpec:
         )
 
 
-def resolve_graph(spec: JobSpec) -> BipartiteCSR:
-    """Materialise a job's graph from its declarative source."""
+def resolve_graph(spec: JobSpec, cache=None) -> BipartiteCSR:
+    """Materialise a job's graph from its declarative source.
+
+    ``cache`` is an optional :class:`repro.cache.GraphCache`; with it, both
+    suite and file sources resolve through the content-addressed store
+    (memory-mapped on hit, built-and-stored on miss). Resolution stays
+    deterministic either way — cached and uncached loads are bit-identical,
+    which is what keeps checkpoint resume sound.
+    """
     source = spec.graph
     if "suite" in source:
+        scale = float(source.get("scale", 1.0))
+        name = str(source["suite"])
+        if cache is not None:
+            return cache.prepare_suite(name, scale).graph
         from repro.bench.suite import get_suite_graph
 
-        scale = float(source.get("scale", 1.0))
-        return get_suite_graph(str(source["suite"]), scale=scale).graph
+        return get_suite_graph(name, scale=scale).graph
     path = Path(str(source["path"]))
     fmt = str(source.get("format", "auto"))
+    if cache is not None:
+        return cache.prepare_file(path, fmt).graph
     return _read_graph_file(path, fmt)
 
 

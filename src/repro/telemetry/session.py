@@ -74,7 +74,13 @@ class NullTelemetry:
     def count_edges(self, edges: int) -> None:
         return None
 
+    def observe_candidates(self, remaining: int) -> None:
+        return None
+
     def finish_run(self, counters: Any = None) -> None:
+        return None
+
+    def count_cache(self, hit: bool, total_bytes: int | None = None) -> None:
         return None
 
     def job_span(self, job_id: str, algorithm: str, engine: Optional[str]) -> _NullContext:
@@ -180,6 +186,13 @@ class Telemetry(NullTelemetry):
                 "Adjacency entries examined (the paper's MTEPS numerator)",
             ).inc(int(edges))
 
+    def observe_candidates(self, remaining: int) -> None:
+        """Per-level gauge: unvisited-Y candidates left after this level."""
+        self.metrics.gauge(
+            "repro_candidates_remaining",
+            "Unvisited-Y candidates remaining after the last traversal level",
+        ).set(int(remaining))
+
     def finish_run(self, counters: Any = None) -> None:
         """Close the open phase span and mirror the final counters.
 
@@ -246,3 +259,22 @@ class Telemetry(NullTelemetry):
             "repro_job_degradations_total",
             "Jobs degraded to the python reference engine",
         ).inc()
+
+    # ------------------------------------------------------------------ #
+    # cache vocabulary (wired through repro.cache)
+    # ------------------------------------------------------------------ #
+
+    def count_cache(self, hit: bool, total_bytes: int | None = None) -> None:
+        """One graph-cache lookup: hit/miss counters plus the store size."""
+        name = "repro_cache_hits_total" if hit else "repro_cache_misses_total"
+        help_text = (
+            "Graph-preparation cache hits (ingest skipped)"
+            if hit
+            else "Graph-preparation cache misses (graph built and stored)"
+        )
+        self.metrics.counter(name, help_text).inc()
+        if total_bytes is not None:
+            self.metrics.gauge(
+                "repro_cache_bytes",
+                "Total bytes held by the graph-preparation cache store",
+            ).set(int(total_bytes))

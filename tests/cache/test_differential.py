@@ -1,0 +1,49 @@
+"""Cache transparency: cached and uncached graphs yield identical runs.
+
+The cache must be invisible to every algorithm — a memory-mapped prepared
+graph and a freshly generated one are bit-identical inputs, so with the
+same seed every algorithm must return the *same matching*, not merely the
+same cardinality. This is the end-to-end guarantee behind wiring the cache
+into ``run``, ``batch``, and the bench runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_algorithm, suite_initializer
+from repro.bench.suite import get_suite_graph
+from repro.cache import GraphCache
+
+ALGORITHMS = ["ms-bfs-graft", "ms-bfs", "pothen-fan", "hopcroft-karp", "push-relabel"]
+SUITE_NAME = "rmat"
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def graphs(tmp_path_factory):
+    cache = GraphCache(tmp_path_factory.mktemp("diffcache"))
+    cache.prepare_suite(SUITE_NAME, SCALE)  # cold store
+    prepared = cache.prepare_suite(SUITE_NAME, SCALE)  # mmap-backed hit
+    assert prepared.from_cache
+    uncached = get_suite_graph(SUITE_NAME, scale=SCALE).graph
+    return cache, prepared, uncached
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cached_and_uncached_matchings_identical(graphs, algorithm):
+    _, prepared, uncached = graphs
+    on = run_algorithm(algorithm, prepared.graph, seed=3)
+    off = run_algorithm(algorithm, uncached, seed=3)
+    assert on.cardinality == off.cardinality
+    np.testing.assert_array_equal(on.matching.mate_x, off.matching.mate_x)
+    np.testing.assert_array_equal(on.matching.mate_y, off.matching.mate_y)
+
+
+def test_cached_warm_start_equals_suite_initializer(graphs):
+    cache, prepared, uncached = graphs
+    warm = cache.warm_start(prepared, seed=3)
+    want = suite_initializer(uncached, seed=3)
+    np.testing.assert_array_equal(warm.mate_x, want.mate_x)
+    np.testing.assert_array_equal(warm.mate_y, want.mate_y)

@@ -1,0 +1,79 @@
+"""Cache key derivation: content addressing must be exact and total.
+
+A key collision serves the wrong graph; a missed invalidation serves a
+stale one. These tests pin the three invalidation axes the ISSUE names:
+input content, input format, and builder version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import keys
+from repro.cache.keys import file_key, hash_file, spec_key
+
+
+class TestSpecKey:
+    def test_deterministic(self):
+        a = spec_key("suite", "rmat", {"scale": 0.5})
+        b = spec_key("suite", "rmat", {"scale": 0.5})
+        assert a == b and len(a) == 64
+
+    def test_param_order_irrelevant(self):
+        a = spec_key("bench", "er", {"scale": 1.0, "seed": 7})
+        b = spec_key("bench", "er", {"seed": 7, "scale": 1.0})
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ("suite", "rmat", {"scale": 0.25}),   # params change
+            ("suite", "road-like", {"scale": 0.5}),  # name change
+            ("bench", "rmat", {"scale": 0.5}),    # kind namespace change
+        ],
+    )
+    def test_any_axis_changes_key(self, other):
+        base = spec_key("suite", "rmat", {"scale": 0.5})
+        assert spec_key(*other) != base
+
+    def test_builder_version_invalidates(self, monkeypatch):
+        base = spec_key("suite", "rmat", {"scale": 0.5})
+        monkeypatch.setattr(keys, "BUILDER_VERSION", keys.BUILDER_VERSION + 1)
+        assert spec_key("suite", "rmat", {"scale": 0.5}) != base
+
+    def test_no_separator_ambiguity(self):
+        # kind/name boundaries must not be collapsible into each other.
+        assert spec_key("ab", "c", {}) != spec_key("a", "bc", {})
+
+
+class TestFileKey:
+    def test_content_addressed(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text("header\n1 1 1\n1 1\n")
+        k1 = file_key(p, "mtx")
+        q = tmp_path / "copy.mtx"
+        q.write_text("header\n1 1 1\n1 1\n")
+        # Same bytes, different path/name: same key (content addressing).
+        assert file_key(q, "mtx") == k1
+        p.write_text("header\n1 1 1\n1 1\n% trailing comment\n")
+        assert file_key(p, "mtx") != k1
+
+    def test_format_participates(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 0\n1 1\n")
+        assert file_key(p, "snap") != file_key(p, "dimacs")
+
+    def test_builder_version_invalidates(self, tmp_path, monkeypatch):
+        p = tmp_path / "g.mtx"
+        p.write_text("data\n")
+        base = file_key(p, "mtx")
+        monkeypatch.setattr(keys, "BUILDER_VERSION", keys.BUILDER_VERSION + 1)
+        assert file_key(p, "mtx") != base
+
+    def test_hash_file_streams_exact_bytes(self, tmp_path):
+        import hashlib
+
+        p = tmp_path / "blob"
+        payload = bytes(range(256)) * 41
+        p.write_bytes(payload)
+        assert hash_file(p) == hashlib.sha256(payload).hexdigest()

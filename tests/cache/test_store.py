@@ -1,0 +1,239 @@
+"""GraphCache behaviour: hit/miss, integrity, eviction, warm starts.
+
+The store's contract: a hit returns bit-identical arrays to a rebuild, a
+corrupted entry is indistinguishable from a miss (never an error, never a
+wrong graph), and the LRU cap holds after every store. Structural checks
+run on every lookup; ``verify()`` is the deep bit-for-bit pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import GraphCache
+from repro.cache.prepare import warm_start_matching
+from repro.graph.generators import random_bipartite
+from repro.graph.serialize import save_graph
+from repro.telemetry.session import Telemetry
+
+
+def _builder(n, seed):
+    return lambda: random_bipartite(n, n, 4 * n, seed=seed)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return GraphCache(tmp_path / "store")
+
+
+class TestPrepareRoundTrip:
+    def test_miss_then_hit_bit_identical(self, cache):
+        fresh = _builder(50, 1)()
+        cold = cache.prepare_spec("test", "g", {"seed": 1}, _builder(50, 1))
+        assert not cold.from_cache
+        warm = cache.prepare_spec("test", "g", {"seed": 1}, _builder(50, 1))
+        assert warm.from_cache
+        assert warm.key == cold.key
+        for got in (cold.graph, warm.graph):
+            np.testing.assert_array_equal(got.x_ptr, fresh.x_ptr)
+            np.testing.assert_array_equal(got.x_adj, fresh.x_adj)
+            np.testing.assert_array_equal(got.y_ptr, fresh.y_ptr)
+            np.testing.assert_array_equal(got.y_adj, fresh.y_adj)
+            np.testing.assert_array_equal(got.deg_x, fresh.deg_x)
+            np.testing.assert_array_equal(got.deg_y, fresh.deg_y)
+
+    def test_hit_is_memory_mapped(self, cache):
+        cache.prepare_spec("test", "g", {}, _builder(40, 2))
+        warm = cache.prepare_spec("test", "g", {}, _builder(40, 2))
+        base = warm.graph.x_adj
+        while base.base is not None and not isinstance(base, np.memmap):
+            base = base.base
+        assert isinstance(base, np.memmap), "warm arrays should stay mmap-backed"
+
+    def test_hit_never_calls_builder(self, cache):
+        cache.prepare_spec("test", "g", {}, _builder(30, 3))
+
+        def exploding_builder():
+            raise AssertionError("builder ran on a cache hit")
+
+        warm = cache.prepare_spec("test", "g", {}, exploding_builder)
+        assert warm.from_cache
+
+    def test_file_prepare_and_content_invalidation(self, cache, tmp_path):
+        g1 = random_bipartite(30, 30, 100, seed=4)
+        path = tmp_path / "graph.npz"
+        save_graph(g1, path)
+        cold = cache.prepare_file(path)
+        assert not cold.from_cache
+        assert cache.prepare_file(path).from_cache
+        # New content at the same path: the old entry must not answer.
+        g2 = random_bipartite(30, 30, 100, seed=5)
+        save_graph(g2, path)
+        changed = cache.prepare_file(path)
+        assert not changed.from_cache
+        assert changed.key != cold.key
+        np.testing.assert_array_equal(changed.graph.y_adj, g2.y_adj)
+
+    def test_telemetry_counters_and_build_span(self, tmp_path):
+        tel = Telemetry()
+        cache = GraphCache(tmp_path / "store", telemetry=tel)
+        cache.prepare_spec("test", "g", {}, _builder(30, 6))
+        assert len(tel.tracer.by_name("build")) == 1
+        cache.prepare_spec("test", "g", {}, _builder(30, 6))
+        # The warm lookup must not have opened a build span (the
+        # warm-run-skips-ingest acceptance criterion).
+        assert len(tel.tracer.by_name("build")) == 1
+        assert tel.metrics.counter("repro_cache_hits_total", "").value == 1
+        assert tel.metrics.counter("repro_cache_misses_total", "").value == 1
+        assert tel.metrics.gauge("repro_cache_bytes", "").value == cache.total_bytes
+
+
+class TestCorruption:
+    def _seed_entry(self, cache):
+        cold = cache.prepare_spec("test", "g", {}, _builder(40, 7))
+        # Reference arrays from an independent build: the cold graph's own
+        # arrays are mmap-backed by the very files these tests corrupt.
+        return cold, _builder(40, 7)()
+
+    def test_truncated_array_falls_back_to_rebuild(self, cache):
+        cold, expected = self._seed_entry(cache)
+        entry = cache._entry_dir(cold.key)
+        victim = entry / "y_adj.npy"
+        victim.write_bytes(victim.read_bytes()[:-16])
+        again = cache.prepare_spec("test", "g", {}, _builder(40, 7))
+        assert not again.from_cache, "corrupt entry must read as a miss"
+        np.testing.assert_array_equal(again.graph.y_adj, expected.y_adj)
+        # The rebuild re-stored a clean entry.
+        assert cache.prepare_spec("test", "g", {}, _builder(40, 7)).from_cache
+        assert cache.verify() == []
+
+    def test_missing_array_falls_back(self, cache):
+        cold, expected = self._seed_entry(cache)
+        (cache._entry_dir(cold.key) / "deg_x.npy").unlink()
+        again = cache.prepare_spec("test", "g", {}, _builder(40, 7))
+        assert not again.from_cache
+        np.testing.assert_array_equal(again.graph.deg_x, expected.deg_x)
+
+    def test_mangled_meta_falls_back(self, cache):
+        cold, _ = self._seed_entry(cache)
+        (cache._entry_dir(cold.key) / "meta.json").write_text("{not json")
+        assert not cache.prepare_spec("test", "g", {}, _builder(40, 7)).from_cache
+
+    def test_same_size_bit_flip_caught_by_deep_verify(self, cache):
+        # A flipped byte mid-array survives the structural lookup checks
+        # (size and shape unchanged) — exactly what verify() exists for.
+        cold, _ = self._seed_entry(cache)
+        victim = cache._entry_dir(cold.key) / "x_adj.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert cache.prepare_spec("test", "g", {}, _builder(40, 7)).from_cache
+        problems = cache.verify()
+        assert len(problems) == 1
+        key, problem = problems[0]
+        assert key == cold.key and "x_adj" in problem
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_under_cap(self, tmp_path):
+        probe = GraphCache(tmp_path / "probe")
+        probe.prepare_spec("test", "probe", {}, _builder(60, 0))
+        entry_bytes = probe.total_bytes
+        # Room for two entries of this shape, not three.
+        cache = GraphCache(tmp_path / "store", max_bytes=int(entry_bytes * 2.5))
+        keys = [
+            cache.prepare_spec("test", f"g{i}", {}, _builder(60, i)).key
+            for i in range(3)
+        ]
+        held = {e["key"] for e in cache.entries()}
+        assert keys[0] not in held, "least-recently-used entry should be evicted"
+        assert {keys[1], keys[2]} <= held
+        assert cache.total_bytes <= cache.max_bytes
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        probe = GraphCache(tmp_path / "probe")
+        probe.prepare_spec("test", "probe", {}, _builder(60, 0))
+        entry_bytes = probe.total_bytes
+        cache = GraphCache(tmp_path / "store", max_bytes=int(entry_bytes * 2.5))
+        k0 = cache.prepare_spec("test", "g0", {}, _builder(60, 0)).key
+        cache.prepare_spec("test", "g1", {}, _builder(60, 1))
+        cache.prepare_spec("test", "g0", {}, _builder(60, 0))  # touch g0
+        cache.prepare_spec("test", "g2", {}, _builder(60, 2))
+        held = {e["key"] for e in cache.entries()}
+        assert k0 in held, "a freshly hit entry must not be the victim"
+
+    def test_oversized_graph_served_without_store(self, tmp_path):
+        cache = GraphCache(tmp_path / "store", max_bytes=64)
+        prepared = cache.prepare_spec("test", "big", {}, _builder(50, 9))
+        assert not prepared.from_cache
+        assert prepared.graph.nnz == _builder(50, 9)().nnz
+        assert cache.total_bytes <= 64
+
+    def test_clear_removes_everything(self, cache):
+        cache.prepare_spec("test", "a", {}, _builder(30, 1))
+        cache.prepare_spec("test", "b", {}, _builder(30, 2))
+        assert cache.clear() == 2
+        assert cache.entries() == [] and cache.total_bytes == 0
+
+
+class TestIndexRecovery:
+    def test_deleted_index_rebuilt_from_disk(self, cache):
+        key = cache.prepare_spec("test", "g", {}, _builder(30, 8)).key
+        (cache.root / "index.json").unlink()
+        assert cache.prepare_spec("test", "g", {}, _builder(30, 8)).from_cache
+        assert {e["key"] for e in cache.entries()} == {key}
+
+    def test_garbage_index_rebuilt(self, cache):
+        cache.prepare_spec("test", "g", {}, _builder(30, 8))
+        (cache.root / "index.json").write_text("]broken[")
+        assert cache.total_bytes > 0
+
+
+class TestWarmStart:
+    def test_cached_per_seed_and_equal_to_fresh(self, cache):
+        prepared = cache.prepare_spec("test", "g", {}, _builder(80, 10))
+        for seed in (0, 3):
+            got = cache.warm_start(prepared, seed)
+            want = warm_start_matching(prepared.graph, seed)
+            np.testing.assert_array_equal(got.mate_x, want.mate_x)
+            np.testing.assert_array_equal(got.mate_y, want.mate_y)
+        warm = cache.prepare_spec("test", "g", {}, _builder(80, 10))
+        assert warm.warm_seeds == (0, 3)
+
+    def test_loaded_warm_start_is_writable(self, cache):
+        prepared = cache.prepare_spec("test", "g", {}, _builder(40, 11))
+        cache.warm_start(prepared, 0)
+        again = cache.warm_start(cache.prepare_spec("test", "g", {}, _builder(40, 11)), 0)
+        again.mate_x[:] = -1  # engines mutate the initial matching in place
+        # And mutating one load must not poison the stored copy.
+        clean = cache.warm_start(cache.prepare_spec("test", "g", {}, _builder(40, 11)), 0)
+        want = warm_start_matching(prepared.graph, 0)
+        np.testing.assert_array_equal(clean.mate_x, want.mate_x)
+
+    def test_corrupt_warm_start_rebuilt(self, cache):
+        prepared = cache.prepare_spec("test", "g", {}, _builder(40, 12))
+        cache.warm_start(prepared, 0)
+        path = prepared.entry_dir / "ks_0.npz"
+        path.write_bytes(b"junk")
+        got = cache.warm_start(prepared, 0)
+        want = warm_start_matching(prepared.graph, 0)
+        np.testing.assert_array_equal(got.mate_x, want.mate_x)
+
+
+class TestEntriesListing:
+    def test_meta_summary(self, cache):
+        cache.prepare_spec("suite-ish", "g", {}, _builder(25, 13), source="unit:g")
+        (entry,) = cache.entries()
+        assert entry["kind"] == "suite-ish"
+        assert entry["source"] == "unit:g"
+        assert entry["n_x"] == 25 and entry["n_y"] == 25
+        assert entry["bytes"] > 0
+        meta = json.loads(
+            (cache._entry_dir(entry["key"]) / "meta.json").read_text()
+        )
+        assert set(meta["arrays"]) == {
+            "x_ptr", "x_adj", "y_ptr", "y_adj", "deg_x", "deg_y"
+        }

@@ -1,0 +1,95 @@
+"""Unit tests for the bit-packed visited-set helpers (repro.core.bitset).
+
+The packed words are a mirror of a byte array, so every operation is
+checked against the obvious uint8 reference implementation, including the
+cases that make packing subtle: duplicate indices in one scatter, distinct
+indices sharing a word, and word-boundary flags (63, 64, 127, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitset import (
+    WORD_BITS,
+    bitset_clear,
+    bitset_count,
+    bitset_set,
+    bitset_test,
+    bitset_words,
+)
+
+
+class TestSizing:
+    @pytest.mark.parametrize(
+        "n,words", [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (1000, 16)]
+    )
+    def test_word_count(self, n, words):
+        assert bitset_words(n).shape == (words,)
+
+    def test_zeroed(self):
+        assert bitset_count(bitset_words(500)) == 0
+
+
+class TestSetTestClear:
+    def test_single_flags_round_trip(self):
+        n = 200
+        words = bitset_words(n)
+        idx = np.array([0, 1, 62, 63, 64, 65, 127, 128, 199])
+        bitset_set(words, idx)
+        assert bitset_test(words, idx).all()
+        everything = np.arange(n)
+        assert bitset_count(words) == idx.size
+        np.testing.assert_array_equal(
+            bitset_test(words, everything), np.isin(everything, idx)
+        )
+        bitset_clear(words, idx)
+        assert bitset_count(words) == 0
+
+    def test_duplicates_in_one_scatter(self):
+        # fetch-or / fetch-and must not cancel each other on duplicates.
+        words = bitset_words(70)
+        bitset_set(words, np.array([5, 5, 5, 69, 69]))
+        assert bitset_count(words) == 2
+        bitset_clear(words, np.array([5, 5]))
+        assert bitset_test(words, np.array([69])).all()
+        assert not bitset_test(words, np.array([5])).any()
+
+    def test_shared_word_independent_flags(self):
+        # All of 0..63 live in word 0; each flag must stay independent.
+        words = bitset_words(WORD_BITS)
+        evens = np.arange(0, WORD_BITS, 2)
+        odds = np.arange(1, WORD_BITS, 2)
+        bitset_set(words, evens)
+        assert bitset_test(words, evens).all()
+        assert not bitset_test(words, odds).any()
+        bitset_set(words, odds)
+        bitset_clear(words, evens)
+        assert not bitset_test(words, evens).any()
+        assert bitset_test(words, odds).all()
+
+    def test_empty_index_arrays_are_noops(self):
+        words = bitset_words(10)
+        empty = np.array([], dtype=np.int64)
+        bitset_set(words, empty)
+        bitset_clear(words, empty)
+        assert bitset_count(words) == 0
+        assert bitset_test(words, empty).shape == (0,)
+
+    def test_randomised_against_byte_reference(self):
+        rng = np.random.default_rng(42)
+        n = 1337  # deliberately not a multiple of 64
+        words = bitset_words(n)
+        ref = np.zeros(n, dtype=np.uint8)
+        everything = np.arange(n)
+        for _ in range(25):
+            idx = rng.integers(0, n, size=rng.integers(1, 200))
+            if rng.random() < 0.65:
+                bitset_set(words, idx)
+                ref[idx] = 1
+            else:
+                bitset_clear(words, idx)
+                ref[idx] = 0
+            np.testing.assert_array_equal(bitset_test(words, everything), ref != 0)
+        assert bitset_count(words) == int(ref.sum())

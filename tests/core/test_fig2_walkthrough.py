@@ -79,7 +79,7 @@ class TestGraftingWalkthrough:
         while frontier.size:
             frontier = kernels.topdown_level(graph, state, matching, frontier).next_frontier
         roots, lengths = kernels.augment_all(state, matching)
-        assert roots.tolist() == [1] and lengths == [3]
+        assert roots.tolist() == [1] and lengths.tolist() == [3]
         gstats = kernels.graft_statistics(state)
         assert gstats.active_x_count == 3  # x0, x2, x3
         # y2 and the path endpoint y3 both sit in the renewable tree.

@@ -130,7 +130,7 @@ class TestAugmentAll:
             frontier = kernels.topdown_level(g, state, matching, frontier).next_frontier
         roots, lengths = kernels.augment_all(state, matching)
         assert roots.tolist() == [0]
-        assert lengths == [3]
+        assert lengths.tolist() == [3]
         assert matching.cardinality == 2
         assert matching.is_consistent()
 
@@ -140,7 +140,7 @@ class TestAugmentAll:
         state = ForestState.for_graph(g)
         kernels.rebuild_from_unmatched(state, matching)
         roots, lengths = kernels.augment_all(state, matching)
-        assert roots.size == 0 and lengths == []
+        assert roots.size == 0 and lengths.size == 0
 
 
 class TestGraftStatistics:
@@ -186,3 +186,47 @@ class TestResetAndRebuild:
         assert sorted(frontier.tolist()) == [0, 2]
         assert state.root_x[0] == 0 and state.root_x[2] == 2
         assert state.root_x[1] == -1
+
+
+class TestTrackedPartition:
+    """graft_partition(tracked=True) must equal the full-scan partition.
+
+    The tracked path derives its vertex sets from the incremental
+    ``tree_*_parts`` membership lists that rebuild_from_unmatched and
+    _apply_claims maintain; growing two identical forests and partitioning
+    one each way checks both the returned sets and the state mutations,
+    across two phases so the parts-reset after a partition is covered too.
+    """
+
+    @staticmethod
+    def _grow_phase(g, state, matching):
+        frontier = kernels.rebuild_from_unmatched(state, matching)
+        while frontier.size:
+            frontier = kernels.topdown_level(g, state, matching, frontier).next_frontier
+        kernels.augment_all(state, matching)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_matches_full_scan_over_two_phases(self, seed):
+        from repro.matching.greedy import greedy_matching
+
+        g = random_bipartite(60, 55, 260, seed=seed)
+        m1 = greedy_matching(g, shuffle=True, seed=seed + 1).matching
+        m2 = m1.copy()
+        s1, s2 = ForestState.for_graph(g), ForestState.for_graph(g)
+        for _ in range(2):
+            self._grow_phase(g, s1, m1)
+            self._grow_phase(g, s2, m2)
+            tracked = kernels.graft_partition(s1, tracked=True)
+            full = kernels.graft_partition(s2)
+            assert tracked.active_x_count == full.active_x_count
+            assert sorted(tracked.active_y.tolist()) == sorted(full.active_y.tolist())
+            assert sorted(tracked.renewable_y.tolist()) == sorted(full.renewable_y.tolist())
+            np.testing.assert_array_equal(s1.root_x, s2.root_x)
+            np.testing.assert_array_equal(s1.root_y, s2.root_y)
+            np.testing.assert_array_equal(s1.visited, s2.visited)
+            np.testing.assert_array_equal(s1.leaf, s2.leaf)
+            np.testing.assert_array_equal(m1.mate_x, m2.mate_x)
+            # Mirror the engine's destroy-and-rebuild branch: active rows
+            # are reset before the next phase rebuilds from unmatched seeds.
+            kernels.reset_rows(s1, tracked.active_y)
+            kernels.reset_rows(s2, full.active_y)
