@@ -1,6 +1,6 @@
 """Correctness tooling for the parallel matching engine.
 
-Three layers, each an executable form of an argument the paper makes in
+Four layers, each an executable form of an argument the paper makes in
 prose (Section III-B):
 
 * :mod:`repro.analysis.racecheck` — a dynamic race detector over the
@@ -12,19 +12,49 @@ prose (Section III-B):
   augmenting paths alternate;
 * :mod:`repro.analysis.lint` — repo-specific AST lint rules (shared-array
   mutation discipline, no global RNG state, no wall-clock in cost models)
-  behind the ``repro-match lint`` subcommand.
+  behind the ``repro-match lint`` subcommand;
+* :mod:`repro.analysis.effects` + :mod:`repro.analysis.phasecheck` — a
+  static phase-safety analyzer: per-function effect summaries over shared
+  arrays (read / raw-written / atomically written), propagated through the
+  call graph, checked against the engines' phase-discipline contracts
+  (rules REP004–REP008) behind ``repro-match analyze``.
 """
 
+from repro.analysis.effects import (
+    Effects,
+    FunctionInfo,
+    PackageEffects,
+    build_package_effects,
+)
 from repro.analysis.invariants import InvariantChecker, check_all_invariants
-from repro.analysis.lint import LintViolation, run_lint
+from repro.analysis.lint import LintViolation, filter_rules, run_lint
+from repro.analysis.phasecheck import (
+    Finding,
+    apply_baseline,
+    load_baseline,
+    rule_catalog,
+    run_analyze,
+    write_baseline,
+)
 from repro.analysis.racecheck import RaceMonitor, RaceReport, run_racecheck
 
 __all__ = [
     "InvariantChecker",
     "check_all_invariants",
     "LintViolation",
+    "filter_rules",
     "run_lint",
     "RaceMonitor",
     "RaceReport",
     "run_racecheck",
+    "Effects",
+    "FunctionInfo",
+    "PackageEffects",
+    "build_package_effects",
+    "Finding",
+    "apply_baseline",
+    "load_baseline",
+    "rule_catalog",
+    "run_analyze",
+    "write_baseline",
 ]

@@ -20,10 +20,16 @@ Generic linters (ruff) cover style and obvious bugs; these rules encode
   never from the host clock (``time.time``, ``perf_counter``, ...).
 
 A violation can be locally suppressed with a ``# lint: allow-<rule-name>``
-comment on the offending line (use sparingly, with justification).
+comment on the offending line *or* on the first line of the enclosing
+statement (so multi-line calls and assignments can carry the comment up
+top). Use sparingly, with justification — the ``unused-suppression``
+analyzer rule (REP007, :mod:`repro.analysis.phasecheck`) flags comments
+that stop suppressing anything.
 
 Run via ``repro-match lint`` (nonzero exit on violations) or
-:func:`run_lint`.
+:func:`run_lint`; ``--select``/``--ignore`` filter rules by code or name.
+The deeper effect-based rules REP004–REP008 run under
+``repro-match analyze``.
 """
 
 from __future__ import annotations
@@ -32,7 +38,17 @@ import ast
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Callable, Iterator, List, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 DEFAULT_ROOT = Path(__file__).resolve().parents[1]
 """The ``src/repro`` package directory — what ``repro-match lint`` scans."""
@@ -243,14 +259,83 @@ RULES: Tuple[LintRule, ...] = (
 )
 
 
-def _suppressed(source_lines: Sequence[str], line: int, rule: LintRule) -> bool:
-    if 1 <= line <= len(source_lines):
-        return f"lint: allow-{rule.name}" in source_lines[line - 1]
-    return False
+def filter_rules(
+    rules: Sequence[LintRule],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[LintRule, ...]:
+    """Keep rules matching ``select`` (codes or names), drop ``ignore``.
+
+    Raises ValueError for a key that names no rule — a misspelled
+    ``--select REP01`` should fail loudly, not silently lint nothing.
+    """
+
+    def norm(keys: Optional[Iterable[str]]) -> Dict[str, str]:
+        if keys is None:
+            return {}
+        return {k.strip().upper(): k for k in keys}
+
+    known = {r.code.upper() for r in rules} | {r.name.upper() for r in rules}
+    sel, ign = norm(select), norm(ignore)
+    unknown = [orig for key, orig in {**sel, **ign}.items() if key not in known]
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    def matches(rule: LintRule, keys: Dict[str, str]) -> bool:
+        return rule.code.upper() in keys or rule.name.upper() in keys
+
+    return tuple(
+        r
+        for r in rules
+        if (not sel or matches(r, sel)) and not matches(r, ign)
+    )
 
 
-def lint_file(path: Path, relpath: str) -> List[LintViolation]:
-    """Lint one file; ``relpath`` decides which rules apply."""
+def suppression_lines(tree: ast.Module, line: int) -> Set[int]:
+    """Lines where an allow-comment counts for a violation at ``line``.
+
+    The violation's own line, plus the first line of the innermost
+    statement spanning it — so a suppression on the first line of a
+    multi-line call/assignment is honored.
+    """
+    candidates = {line}
+    best: Optional[Tuple[int, int]] = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if node.lineno <= line <= end:
+            span = (node.lineno, end)
+            if best is None or (span[0] >= best[0] and span[1] <= best[1]):
+                best = span
+    if best is not None:
+        candidates.add(best[0])
+    return candidates
+
+
+def suppressed_at(
+    source_lines: Sequence[str], candidates: Set[int], rule_name: str
+) -> Optional[int]:
+    """The line carrying an active ``allow-<rule_name>`` comment, if any."""
+    for ln in sorted(candidates):
+        if 1 <= ln <= len(source_lines):
+            if f"lint: allow-{rule_name}" in source_lines[ln - 1]:
+                return ln
+    return None
+
+
+def lint_file(
+    path: Path,
+    relpath: str,
+    rules: Sequence[LintRule] = RULES,
+    used_suppressions: Optional[Set[Tuple[str, int]]] = None,
+) -> List[LintViolation]:
+    """Lint one file; ``relpath`` decides which rules apply.
+
+    ``used_suppressions``, when given, collects ``(relpath, comment_line)``
+    for every allow-comment that actually masked a violation — the
+    unused-suppression rule subtracts these from the comments it finds.
+    """
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
@@ -266,12 +351,15 @@ def lint_file(path: Path, relpath: str) -> List[LintViolation]:
         ]
     lines = source.splitlines()
     violations: List[LintViolation] = []
-    for rule in RULES:
+    for rule in rules:
         if not rule.applies_to(relpath):
             continue
         for node, message in rule.check(tree):
             line = getattr(node, "lineno", 1)
-            if _suppressed(lines, line, rule):
+            hit = suppressed_at(lines, suppression_lines(tree, line), rule.name)
+            if hit is not None:
+                if used_suppressions is not None:
+                    used_suppressions.add((relpath, hit))
                 continue
             violations.append(
                 LintViolation(
@@ -285,7 +373,11 @@ def lint_file(path: Path, relpath: str) -> List[LintViolation]:
     return violations
 
 
-def run_lint(root: Path | str = DEFAULT_ROOT) -> List[LintViolation]:
+def run_lint(
+    root: Path | str = DEFAULT_ROOT,
+    rules: Sequence[LintRule] = RULES,
+    used_suppressions: Optional[Set[Tuple[str, int]]] = None,
+) -> List[LintViolation]:
     """Lint every ``*.py`` under ``root`` (a package-shaped directory).
 
     Rule scopes match against paths relative to ``root``, so a fixture
@@ -294,9 +386,22 @@ def run_lint(root: Path | str = DEFAULT_ROOT) -> List[LintViolation]:
     """
     root = Path(root)
     if root.is_file():
-        return lint_file(root, root.name)
+        return lint_file(root, root.name, rules, used_suppressions)
     violations: List[LintViolation] = []
     for path in sorted(root.rglob("*.py")):
         relpath = path.relative_to(root).as_posix()
-        violations.extend(lint_file(path, relpath))
+        violations.extend(lint_file(path, relpath, rules, used_suppressions))
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def summarize(violations: Sequence[LintViolation]) -> str:
+    """One-line per-rule tally, e.g. ``3 violations (REP001 x2, REP004 x1)``."""
+    if not violations:
+        return "0 violations"
+    counts: dict[str, int] = {}
+    for v in violations:
+        code = v.rule.split(" ")[0]
+        counts[code] = counts.get(code, 0) + 1
+    parts = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+    noun = "violation" if len(violations) == 1 else "violations"
+    return f"{len(violations)} {noun} ({parts})"

@@ -22,17 +22,35 @@ by their owning rank's step, and every cross-rank flow is an explicit
 message applied at a superstep boundary — so the execution order (and any
 staleness) is faithful to a real BSP run, and every byte is accounted in
 the :class:`~repro.distributed.bsp.SuperstepLog`.
+
+Shared-array writes inside the phase closures go through the
+``@superstep_commit`` helpers of :mod:`repro.distributed.commit` — the
+owner-side boundary applications the static analyzer (REP004,
+:mod:`repro.analysis.phasecheck`) accepts as atomic; and the phase loop
+runs :meth:`repro.core.options.GraftOptions.begin_phase` every phase, so
+deadline checks, telemetry phase spans, and ``phase_hook`` behave exactly
+as in the shared-memory engines (REP005).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.core.options import GraftOptions
 from repro.distributed.bsp import SuperstepLog
+from repro.distributed.commit import (
+    commit_activations,
+    commit_claims,
+    commit_match_flip,
+    commit_rebuild,
+    commit_renewable_leaves,
+    release_rows,
+    retire_trees,
+)
 from repro.distributed.partition import Partition1D
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
 from repro.instrument.counters import Counters
@@ -64,9 +82,22 @@ def distributed_ms_bfs_graft(
     alpha: float = 5.0,
     grafting: bool = True,
     direction_optimizing: bool = True,
+    options: Optional[GraftOptions] = None,
 ) -> DistributedResult:
-    """Maximum matching with distributed-memory MS-BFS-Graft."""
+    """Maximum matching with distributed-memory MS-BFS-Graft.
+
+    ``options`` carries the runtime seam shared with the shared-memory
+    engines (deadline, phase_hook, telemetry) and, when given, overrides
+    the ``alpha``/``grafting``/``direction_optimizing`` keywords.
+    """
     start = time.perf_counter()
+    if options is None:
+        options = GraftOptions(
+            alpha=alpha, grafting=grafting, direction_optimizing=direction_optimizing
+        )
+    alpha = options.alpha
+    grafting = options.grafting
+    direction_optimizing = options.direction_optimizing
     part = Partition1D(graph, ranks)
     matching = init_matching(graph, initial)
     counters = Counters()
@@ -158,9 +189,7 @@ def distributed_ms_bfs_graft(
         winners, first = np.unique(claim_y, return_index=True)
         win_x = claim_x[first]
         roots = root_x[win_x]
-        visited[winners] = 1
-        parent[winners] = win_x
-        root_y[winners] = roots
+        commit_claims(visited, parent, root_y, winners, win_x, roots)
         num_unvisited -= int(winners.size)
         counters.edges_traversed += int(winners.size)
 
@@ -174,8 +203,7 @@ def distributed_ms_bfs_graft(
         uniq_roots, first = np.unique(endpoint_roots, return_index=True)
         fresh = uniq_roots[~renewable[uniq_roots]]
         fresh_leaf = endpoint_y[first][~renewable[uniq_roots]]
-        leaf[fresh] = fresh_leaf
-        renewable[fresh] = True
+        commit_renewable_leaves(leaf, renewable, fresh, fresh_leaf)
         compute_b = np.bincount(owner_of_y[winners], minlength=ranks).astype(float) if winners.size else np.zeros(ranks)
         bytes_b = send_bytes(
             owner_of_y[mate_x[activations]] if activations.size else np.empty(0, dtype=np.int64),
@@ -188,7 +216,7 @@ def distributed_ms_bfs_graft(
                 owner_of_x[fresh], minlength=ranks
             ).astype(np.float64) * (ranks - 1) * _WORD
         log.record("topdown-activate", compute_b, bytes_b)
-        root_x[activations] = act_roots
+        commit_activations(root_x, activations, act_roots)
         return activations
 
     def bottomup_level(rows: np.ndarray, label: str) -> np.ndarray:
@@ -231,10 +259,8 @@ def distributed_ms_bfs_graft(
         )
 
         # --- boundary + superstep C: root responses, activations -------- #
-        visited[att_y] = 1
-        parent[att_y] = att_x
         roots = root_x[att_x]
-        root_y[att_y] = roots
+        commit_claims(visited, parent, root_y, att_y, att_x, roots)
         num_unvisited -= int(att_y.size)
         mates = mate_y[att_y]
         matched = mates != UNMATCHED
@@ -245,8 +271,7 @@ def distributed_ms_bfs_graft(
         uniq_roots, first = np.unique(endpoint_roots, return_index=True)
         fresh = uniq_roots[~renewable[uniq_roots]]
         fresh_leaf = endpoint_y[first][~renewable[uniq_roots]]
-        leaf[fresh] = fresh_leaf
-        renewable[fresh] = True
+        commit_renewable_leaves(leaf, renewable, fresh, fresh_leaf)
         compute_c = np.bincount(owner_of_x[att_x], minlength=ranks).astype(float) if att_x.size else np.zeros(ranks)
         # Root responses: x-owner -> y-owner.
         bytes_c = send_bytes(owner_of_x[att_x], owner_of_y[att_y], 2)
@@ -260,7 +285,7 @@ def distributed_ms_bfs_graft(
                 ranks - 1
             ) * _WORD
         log.record(f"{label}-respond", compute_c, bytes_c)
-        root_x[activations] = act_roots
+        commit_activations(root_x, activations, act_roots)
         return activations
 
     def augment_phase() -> int:
@@ -285,8 +310,7 @@ def distributed_ms_bfs_graft(
                 if rx != ry:
                     bytes_out[ry] += 2 * _WORD
                 prev = int(mate_x[x])
-                mate_x[x] = y
-                mate_y[y] = x
+                commit_match_flip(mate_x, mate_y, x, y)
                 compute[rx] += 1
                 if rx != ry:
                     bytes_out[rx] += 2 * _WORD  # mate-set reply to y owner
@@ -308,7 +332,7 @@ def distributed_ms_bfs_graft(
         nonlocal num_unvisited
         # Statistics + control superstep: local classification, allreduce.
         renewable_x_mask = (root_x != UNMATCHED) & renewable[np.where(root_x >= 0, root_x, 0)]
-        root_x[renewable_x_mask] = UNMATCHED
+        retire_trees(root_x, np.flatnonzero(renewable_x_mask))
         active_x_count = int(np.count_nonzero(root_x != UNMATCHED))
         safe_y = np.where(root_y >= 0, root_y, 0)
         y_in_tree = root_y != UNMATCHED
@@ -321,22 +345,17 @@ def distributed_ms_bfs_graft(
             # Two allreduced counters; a single rank reduces locally.
             np.full(ranks, 2.0 * _WORD if ranks > 1 else 0.0),
         )
-        visited[renew_y] = 0
-        root_y[renew_y] = UNMATCHED
+        release_rows(visited, root_y, renew_y)
         num_unvisited += int(renew_y.size)
         if grafting and active_x_count > renew_y.size / alpha:
             new_frontier = bottomup_level(renew_y, "grafting")
             counters.grafts += int(new_frontier.size)
             return new_frontier
         counters.tree_rebuilds += 1
-        visited[active_y] = 0
-        root_y[active_y] = UNMATCHED
+        release_rows(visited, root_y, active_y)
         num_unvisited += int(active_y.size)
-        root_x[:] = UNMATCHED
         frontier = np.flatnonzero(mate_x == UNMATCHED).astype(INDEX_DTYPE)
-        root_x[frontier] = frontier
-        leaf[frontier] = UNMATCHED
-        renewable[frontier] = False
+        commit_rebuild(root_x, leaf, renewable, frontier)
         log.record("rebuild", np.diff(part.y_bounds).astype(float), np.zeros(ranks))
         return frontier
 
@@ -345,11 +364,11 @@ def distributed_ms_bfs_graft(
     # ------------------------------------------------------------------ #
 
     frontier = np.flatnonzero(mate_x == UNMATCHED).astype(INDEX_DTYPE)
-    root_x[frontier] = frontier
-    leaf[frontier] = UNMATCHED
+    commit_rebuild(root_x, leaf, renewable, frontier)
 
     while True:
         counters.phases += 1
+        options.begin_phase(counters.phases)
         while frontier.size:
             if num_unvisited == 0:
                 frontier = frontier[:0]

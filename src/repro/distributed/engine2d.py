@@ -18,16 +18,32 @@ and columns:
 
 Hub vertices also parallelise better: a high-degree row's adjacency is
 split over ``c`` tiles, so its scan no longer serialises on one rank.
+
+As in the 1D engine, tile-code shared writes go through the
+``@superstep_commit`` helpers of :mod:`repro.distributed.commit` (the
+analyzer-checked owner-side boundary channel), and the phase loop runs
+``GraftOptions.begin_phase`` so deadline/phase_hook/telemetry parity with
+the shared-memory engines holds here too.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.core.options import GraftOptions
 from repro.distributed.bsp import SuperstepLog
+from repro.distributed.commit import (
+    commit_activations,
+    commit_claims,
+    commit_match_flip,
+    commit_rebuild,
+    commit_renewable_leaves,
+    release_rows,
+    retire_trees,
+)
 from repro.distributed.engine import DistributedResult
 from repro.distributed.grid import Grid2D
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
@@ -46,9 +62,22 @@ def distributed_ms_bfs_graft_2d(
     alpha: float = 5.0,
     grafting: bool = True,
     direction_optimizing: bool = True,
+    options: Optional[GraftOptions] = None,
 ) -> DistributedResult:
-    """Maximum matching with 2D-decomposed distributed MS-BFS-Graft."""
+    """Maximum matching with 2D-decomposed distributed MS-BFS-Graft.
+
+    ``options`` carries the runtime seam shared with the shared-memory
+    engines (deadline, phase_hook, telemetry) and, when given, overrides
+    the ``alpha``/``grafting``/``direction_optimizing`` keywords.
+    """
     start = time.perf_counter()
+    if options is None:
+        options = GraftOptions(
+            alpha=alpha, grafting=grafting, direction_optimizing=direction_optimizing
+        )
+    alpha = options.alpha
+    grafting = options.grafting
+    direction_optimizing = options.direction_optimizing
     grid = grid or Grid2D.square(graph, ranks)
     ranks = grid.ranks
     matching = init_matching(graph, initial)
@@ -111,9 +140,7 @@ def distributed_ms_bfs_graft_2d(
         winners, first = np.unique(claim_y, return_index=True)
         win_x = claim_x[first]
         roots = root_x[win_x]
-        visited[winners] = 1
-        parent[winners] = win_x
-        root_y[winners] = roots
+        commit_claims(visited, parent, root_y, winners, win_x, roots)
         num_unvisited -= int(winners.size)
         mates = mate_y[winners]
         matched = mates != UNMATCHED
@@ -124,8 +151,7 @@ def distributed_ms_bfs_graft_2d(
         uniq_roots, first_e = np.unique(endpoint_roots, return_index=True)
         fresh = uniq_roots[~renewable[uniq_roots]]
         fresh_leaf = endpoint_y[first_e][~renewable[uniq_roots]]
-        leaf[fresh] = fresh_leaf
-        renewable[fresh] = True
+        commit_renewable_leaves(leaf, renewable, fresh, fresh_leaf)
         # Activation + renewable-broadcast superstep.
         compute = (
             np.bincount(owner_of_y[winners], minlength=ranks).astype(float)
@@ -142,7 +168,7 @@ def distributed_ms_bfs_graft_2d(
                 owner_of_x[fresh], minlength=ranks
             ).astype(np.float64) * (ranks - 1) * _WORD
         log.record("activate", compute, bytes_out)
-        root_x[activations] = act_roots
+        commit_activations(root_x, activations, act_roots)
         return activations
 
     # ------------------------------------------------------------------ #
@@ -247,8 +273,7 @@ def distributed_ms_bfs_graft_2d(
                     bytes_out[ry] += 2 * _WORD
                     bytes_out[rx] += 2 * _WORD
                 prev = int(mate_x[x])
-                mate_x[x] = y
-                mate_y[y] = x
+                commit_match_flip(mate_x, mate_y, x, y)
                 lengths[root] += 1
                 if prev != UNMATCHED:
                     lengths[root] += 1
@@ -265,7 +290,7 @@ def distributed_ms_bfs_graft_2d(
     def graft_step() -> np.ndarray:
         nonlocal num_unvisited
         renewable_x_mask = (root_x != UNMATCHED) & renewable[np.where(root_x >= 0, root_x, 0)]
-        root_x[renewable_x_mask] = UNMATCHED
+        retire_trees(root_x, np.flatnonzero(renewable_x_mask))
         active_x_count = int(np.count_nonzero(root_x != UNMATCHED))
         safe_y = np.where(root_y >= 0, root_y, 0)
         y_in_tree = root_y != UNMATCHED
@@ -277,22 +302,17 @@ def distributed_ms_bfs_graft_2d(
             np.full(ranks, (n_x + n_y) / ranks),
             np.full(ranks, 2.0 * _WORD if ranks > 1 else 0.0),
         )
-        visited[renew_y] = 0
-        root_y[renew_y] = UNMATCHED
+        release_rows(visited, root_y, renew_y)
         num_unvisited += int(renew_y.size)
         if grafting and active_x_count > renew_y.size / alpha:
             new_frontier = bottomup_level(renew_y, "grafting")
             counters.grafts += int(new_frontier.size)
             return new_frontier
         counters.tree_rebuilds += 1
-        visited[active_y] = 0
-        root_y[active_y] = UNMATCHED
+        release_rows(visited, root_y, active_y)
         num_unvisited += int(active_y.size)
-        root_x[:] = UNMATCHED
         frontier = np.flatnonzero(mate_x == UNMATCHED).astype(INDEX_DTYPE)
-        root_x[frontier] = frontier
-        leaf[frontier] = UNMATCHED
-        renewable[frontier] = False
+        commit_rebuild(root_x, leaf, renewable, frontier)
         log.record("rebuild", np.full(ranks, n_y / ranks), np.zeros(ranks))
         return frontier
 
@@ -301,11 +321,11 @@ def distributed_ms_bfs_graft_2d(
     # ------------------------------------------------------------------ #
 
     frontier = np.flatnonzero(mate_x == UNMATCHED).astype(INDEX_DTYPE)
-    root_x[frontier] = frontier
-    leaf[frontier] = UNMATCHED
+    commit_rebuild(root_x, leaf, renewable, frontier)
 
     while True:
         counters.phases += 1
+        options.begin_phase(counters.phases)
         while frontier.size:
             if num_unvisited == 0:
                 frontier = frontier[:0]

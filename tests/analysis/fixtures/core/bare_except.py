@@ -1,0 +1,23 @@
+"""Fixture: REP008 — bare except handlers in engine code."""
+
+
+def swallow_everything(step):
+    try:
+        step()
+    except:  # noqa: E722 — REP008 true positive
+        pass
+
+
+def swallow_base(step):
+    try:
+        step()
+    except BaseException:  # REP008 true positive
+        return None
+    return None
+
+
+def fine(step):
+    try:
+        step()
+    except ValueError:  # concrete type: no finding
+        pass

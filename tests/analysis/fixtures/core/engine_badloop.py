@@ -1,0 +1,8 @@
+"""Fixture: trips REP005 (engine phase loop without begin_phase)."""
+
+
+def run(counters, step):
+    while True:
+        counters.phases += 1
+        if not step():
+            break

@@ -1,0 +1,9 @@
+"""Fixture: clean phase loop — begin_phase runs every iteration."""
+
+
+def run(options, counters, step):
+    while True:
+        counters.phases += 1
+        options.begin_phase(counters.phases)
+        if not step():
+            break

@@ -1,0 +1,15 @@
+"""Fixture: REP006 — visited byte writes must update the packed mirror."""
+
+
+def bitset_set(words, rows):
+    for r in rows:
+        words[r >> 6] |= 1 << (r & 63)
+
+
+class MirrorState:
+    def bad_mark(self, rows):
+        self.visited[rows] = 1  # byte view written, mirror skipped: REP006
+
+    def good_mark(self, rows):
+        self.visited[rows] = 1
+        bitset_set(self.visited_words, rows)

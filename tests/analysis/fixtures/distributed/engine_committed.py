@@ -1,0 +1,24 @@
+"""Fixture: clean phase body — claims go through a @superstep_commit helper."""
+
+
+def superstep_commit(func):
+    func.__superstep_commit__ = True
+    return func
+
+
+@superstep_commit
+def commit_claims(visited, parent, rows):
+    visited[rows] = 1
+    parent[rows] = rows
+
+
+def run_engine(n):
+    visited = [0] * n
+    parent = [-1] * n
+
+    def topdown_level(frontier):
+        keep = [y for y in frontier if visited[y] == 0]
+        commit_claims(visited, parent, keep)
+        return keep
+
+    return topdown_level(list(range(n)))

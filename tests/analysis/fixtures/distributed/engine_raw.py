@@ -1,0 +1,17 @@
+"""Fixture: trips REP004 twice (overlap + raw claim writes in a phase body)."""
+
+
+def run_engine(n):
+    visited = [0] * n
+    parent = [-1] * n
+    root_y = [-1] * n
+
+    def topdown_level(frontier):
+        keep = [y for y in frontier if visited[y] == 0]  # reads visited
+        for y in keep:
+            visited[y] = 1  # raw write of a read array: REP004 overlap
+            parent[y] = y  # raw claim write: REP004
+            root_y[y] = y  # raw claim write: REP004
+        return keep
+
+    return topdown_level(list(range(n)))

@@ -1,0 +1,4 @@
+"""Fixture: REP007 — suppression comments that suppress nothing."""
+
+VALUE = 1  # lint: allow-global-rng — masks no violation: REP007
+OTHER = 2  # lint: allow-no-such-rule — unknown rule: REP007

@@ -4,7 +4,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.lint import DEFAULT_ROOT, RULES, lint_file, run_lint
+from repro.analysis.lint import (
+    DEFAULT_ROOT,
+    RULES,
+    filter_rules,
+    lint_file,
+    run_lint,
+    summarize,
+)
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -91,3 +98,44 @@ class TestCli:
     def test_lint_shipped_tree_exits_zero(self, capsys):
         assert main(["lint"]) == 0
         assert "lint clean" in capsys.readouterr().out
+
+    def test_lint_select_narrows_rules(self, capsys):
+        assert main(["lint", str(FIXTURES), "--select", "REP002"]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out
+        assert "REP001" not in out and "REP003" not in out
+
+    def test_lint_ignore_drops_rule(self, capsys):
+        assert main(["lint", str(FIXTURES), "--ignore", "REP001", "--ignore", "REP002"]) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out
+        assert "REP001" not in out and "REP002" not in out
+
+    def test_lint_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", str(FIXTURES), "--select", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_lint_summary_line_on_stderr(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        err = capsys.readouterr().err
+        assert "violations (" in err
+
+
+class TestFilterRules:
+    def test_select_by_code_and_name(self):
+        assert [r.code for r in filter_rules(RULES, ["REP002"], None)] == ["REP002"]
+        assert [r.code for r in filter_rules(RULES, ["global-rng"], None)] == ["REP002"]
+
+    def test_ignore(self):
+        kept = filter_rules(RULES, None, ["REP001"])
+        assert "REP001" not in [r.code for r in kept]
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="nope"):
+            filter_rules(RULES, ["nope"], None)
+
+    def test_summarize_counts_by_code(self):
+        violations = run_lint(FIXTURES)
+        line = summarize(violations)
+        assert line.startswith(f"{len(violations)} violations (")
+        assert "REP002 x3" in line

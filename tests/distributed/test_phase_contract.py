@@ -1,0 +1,71 @@
+"""Distributed engines honor the GraftOptions phase contract (REP005 fix)."""
+
+import pytest
+
+from repro.core.options import Deadline, GraftOptions
+from repro.distributed import distributed_ms_bfs_graft
+from repro.distributed.engine2d import distributed_ms_bfs_graft_2d
+from repro.errors import DeadlineExceeded
+from repro.graph.generators import random_bipartite
+
+ENGINES = [
+    pytest.param(distributed_ms_bfs_graft, id="bsp-1d"),
+    pytest.param(distributed_ms_bfs_graft_2d, id="bsp-2d"),
+]
+
+
+def make_graph():
+    return random_bipartite(60, 60, 260, seed=7)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TelemetryStub:
+    def __init__(self):
+        self.phases = []
+
+    def begin_phase(self, phase):
+        self.phases.append(phase)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestPhaseContract:
+    def test_phase_hook_called_once_per_phase(self, engine):
+        seen = []
+        options = GraftOptions(phase_hook=seen.append)
+        result = engine(make_graph(), ranks=3, options=options)
+        assert result.counters.phases >= 1
+        assert seen == list(range(1, result.counters.phases + 1))
+
+    def test_telemetry_begin_phase_mirrors_hook(self, engine):
+        stub = TelemetryStub()
+        options = GraftOptions(telemetry=stub)
+        result = engine(make_graph(), ranks=3, options=options)
+        assert stub.phases == list(range(1, result.counters.phases + 1))
+
+    def test_expired_deadline_raises_at_phase_boundary(self, engine):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.t = 5.0  # budget already spent before the first phase
+        options = GraftOptions(deadline=deadline)
+        with pytest.raises(DeadlineExceeded):
+            engine(make_graph(), ranks=3, options=options)
+
+    def test_options_override_keyword_arguments(self, engine):
+        graph = make_graph()
+        # options wins over the conflicting keyword: bottom-up never runs.
+        options = GraftOptions(direction_optimizing=False)
+        result = engine(graph, ranks=3, direction_optimizing=True, options=options)
+        assert result.counters.bottomup_steps == 0
+
+    def test_cardinality_unchanged_by_options_seam(self, engine):
+        graph = make_graph()
+        plain = engine(graph, ranks=3)
+        seamed = engine(graph, ranks=3, options=GraftOptions(phase_hook=lambda p: None))
+        assert seamed.cardinality == plain.cardinality
