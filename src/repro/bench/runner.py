@@ -66,6 +66,7 @@ def run_algorithm(
     deadline: Deadline | None = None,
     phase_hook=None,
     telemetry=None,
+    workers: int | None = None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
@@ -74,10 +75,12 @@ def run_algorithm(
     ``"karp-sipser-parallel"`` (the suite default), ``"karp-sipser"``
     (serial), or ``"none"`` (empty matching). ``engine`` overrides the
     MS-BFS-Graft backend dispatcher, ``deadline`` is the cooperative soft
-    timeout, ``phase_hook`` a per-phase callback, and ``telemetry`` a
-    :class:`repro.telemetry.Telemetry` session; all four apply only to the
-    driver-backed algorithms in :data:`ENGINE_AWARE` — the batch service
-    threads its deadlines, fault hooks, and telemetry through here.
+    timeout, ``phase_hook`` a per-phase callback, ``telemetry`` a
+    :class:`repro.telemetry.Telemetry` session, and ``workers`` the process
+    count for ``engine="mp"`` (and the worker term of ``"auto"``); all five
+    apply only to the driver-backed algorithms in :data:`ENGINE_AWARE` —
+    the batch service threads its deadlines, fault hooks, and telemetry
+    through here.
     """
     fn = ALGORITHMS.get(name)
     if fn is None:
@@ -91,6 +94,8 @@ def run_algorithm(
         driver_kwargs["phase_hook"] = phase_hook
     if telemetry is not None:
         driver_kwargs["telemetry"] = telemetry
+    if workers is not None:
+        driver_kwargs["workers"] = workers
     if driver_kwargs and name not in ENGINE_AWARE:
         raise BenchmarkError(
             f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "

@@ -88,7 +88,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         telemetry = Telemetry()
     graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
     result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
-                           engine=args.engine, telemetry=telemetry)
+                           engine=args.engine, telemetry=telemetry,
+                           workers=args.workers)
     verify_maximum(graph, result.matching)
     if telemetry is not None:
         from repro.telemetry import write_prometheus
@@ -159,7 +160,8 @@ def _read_graph_file(path: str, fmt: str):
 
 def _cmd_match(args: argparse.Namespace) -> int:
     graph, labels = _read_graph_file(args.path, args.format)
-    result = run_algorithm(args.algorithm, graph, seed=args.seed, engine=args.engine)
+    result = run_algorithm(args.algorithm, graph, seed=args.seed, engine=args.engine,
+                           workers=args.workers)
     verify_maximum(graph, result.matching)
     print(f"{args.path}: n_rows={graph.n_x:,} n_cols={graph.n_y:,} nnz={graph.nnz:,}")
     print(f"maximum matching (structural rank): {result.cardinality:,}")
@@ -352,7 +354,8 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     )
 
     doc = run_kernel_bench(scale=args.scale, repeats=args.repeats, graphs=args.graphs,
-                           cache=_open_cache(args))
+                           cache=_open_cache(args), workers=args.workers,
+                           mp_scaling=args.mp_scaling)
     print(render_kernel_bench(doc))
     if args.out:
         write_kernel_bench(doc, args.out)
@@ -367,7 +370,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     telemetry = Telemetry()
     graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
     result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
-                           engine=args.engine, telemetry=telemetry)
+                           engine=args.engine, telemetry=telemetry,
+                           workers=args.workers)
     verify_maximum(graph, result.matching)
     out = args.out or f"{args.graph}.trace.json"
     write_chrome_trace(
@@ -624,10 +628,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
     p_run.add_argument("--scale", type=float, default=0.3)
     p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+    p_run.add_argument("--engine",
+                       choices=["auto", "numpy", "python", "interleaved", "mp"],
                        default=None,
                        help="override the backend dispatcher (MS-BFS-Graft "
                             "family only; default: cost-model auto-dispatch)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process count for the mp engine; with --engine "
+                            "auto, >= 2 lets the cost model consider mp")
     p_run.add_argument("--report", action="store_true",
                        help="print the full instrumented run report")
     p_run.add_argument("--machine", choices=["mirasol", "edison", "laptop", "manycore"],
@@ -659,10 +667,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("path")
     p_match.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="ms-bfs-graft")
     p_match.add_argument("--seed", type=int, default=0)
-    p_match.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+    p_match.add_argument("--engine",
+                         choices=["auto", "numpy", "python", "interleaved", "mp"],
                          default=None,
                          help="override the backend dispatcher (MS-BFS-Graft "
                               "family only)")
+    p_match.add_argument("--workers", type=int, default=None,
+                         help="process count for the mp engine")
     p_match.add_argument("--format", choices=["auto", "mtx", "snap", "dimacs"],
                          default="auto")
     p_match.add_argument("--show-pairs", type=int, default=5,
@@ -695,7 +706,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default="ms-bfs-graft")
     p_batch.add_argument("--scale", type=float, default=0.2)
     p_batch.add_argument("--seed", type=int, default=0)
-    p_batch.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+    p_batch.add_argument("--engine",
+                         choices=["auto", "numpy", "python", "interleaved", "mp"],
                          default=None)
     p_batch.add_argument("--deadline", type=float, default=None,
                          help="per-job soft deadline in seconds (checked at "
@@ -738,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bk = sub.add_parser(
         "bench-kernels",
-        help="time the python vs numpy backends (BENCH_kernels.json baseline)",
+        help="time the python/numpy/mp backends (BENCH_kernels.json baseline)",
     )
     p_bk.add_argument("--scale", type=float, default=1.0,
                       help="instance scale; 1.0 = the 2^14-vertex RMAT baseline")
@@ -747,6 +759,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bk.add_argument("--graphs", nargs="+", default=None,
                       choices=["rmat", "er", "skewed"],
                       help="subset of bench inputs (default: all three)")
+    p_bk.add_argument("--workers", type=int, default=2,
+                      help="mp engine pool size for the per-graph timings")
+    p_bk.add_argument("--mp-scaling", action="store_true",
+                      help="also sweep the rmat entry over 1/2/4 mp workers "
+                           "and record the host's dispatch decision")
     p_bk.add_argument("--out", default=None,
                       help="write the validated JSON document here "
                            "(e.g. benchmarks/BENCH_kernels.json)")
@@ -765,8 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="ms-bfs-graft")
     p_trace.add_argument("--scale", type=float, default=0.3)
     p_trace.add_argument("--seed", type=int, default=0)
-    p_trace.add_argument("--engine", choices=["auto", "numpy", "python", "interleaved"],
+    p_trace.add_argument("--engine",
+                         choices=["auto", "numpy", "python", "interleaved", "mp"],
                          default=None)
+    p_trace.add_argument("--workers", type=int, default=None,
+                         help="process count for the mp engine")
     p_trace.add_argument("--out", default=None,
                          help="trace path (default: <graph>.trace.json)")
     p_trace.add_argument("--metrics-out", default=None,

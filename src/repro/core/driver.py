@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Optional
 
 from repro.core.engine_interleaved import run_interleaved
@@ -9,6 +10,7 @@ from repro.core.engine_numpy import run_numpy
 from repro.core.engine_python import run_python
 from repro.core.options import (
     DISPATCH_WORK_THRESHOLD,
+    MP_DISPATCH_MIN_WORK,
     Deadline,
     DispatchDecision,
     GraftOptions,
@@ -16,9 +18,23 @@ from repro.core.options import (
 from repro.errors import ReproError
 from repro.graph.csr import BipartiteCSR
 from repro.matching.base import MatchResult, Matching
+from repro.parallel.procpool import DEFAULT_WORKERS, run_mp
 from repro.util.rng import SeedLike
 
-_ENGINES = ("auto", "numpy", "python", "interleaved")
+_ENGINES = ("auto", "numpy", "python", "interleaved", "mp")
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    ``sched_getaffinity`` respects cgroup/taskset restrictions — the number
+    that matters for a process pool — with ``cpu_count`` as the portable
+    fallback.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def choose_engine(
@@ -26,15 +42,27 @@ def choose_engine(
     *,
     emit_trace: bool = True,
     threshold: int = DISPATCH_WORK_THRESHOLD,
+    workers: int = 1,
+    mp_threshold: int = MP_DISPATCH_MIN_WORK,
+    cores: int | None = None,
 ) -> DispatchDecision:
-    """Cost-model backend dispatch: pick the python or numpy engine.
+    """Cost-model backend dispatch: pick the python, numpy, or mp engine.
 
     Mirrors the shape of the paper's direction rule (Algorithm 3 line 9,
-    ``|F| < numUnvisitedY / alpha``): a single work estimate compared
-    against a calibrated threshold. The estimate is ``nnz + n_x + n_y`` —
-    the per-phase touch count of the level kernels — and the threshold is
-    the measured crossover where numpy's per-call overhead stops dominating
-    (:data:`~repro.core.options.DISPATCH_WORK_THRESHOLD`).
+    ``|F| < numUnvisitedY / alpha``): work estimates compared against
+    calibrated thresholds. The estimate is ``nnz + n_x + n_y`` — the
+    per-phase touch count of the level kernels — and the python/numpy
+    crossover is the measured point where numpy's per-call overhead stops
+    dominating (:data:`~repro.core.options.DISPATCH_WORK_THRESHOLD`).
+
+    The process-parallel backend enters the decision only when the caller
+    asked for ``workers >= 2``; it is picked when the pool can actually
+    run in parallel (``min(workers, cores) >= 2`` — a pool pinned to one
+    core merely adds barrier latency) **and** the work estimate clears
+    :data:`~repro.core.options.MP_DISPATCH_MIN_WORK`, the floor below
+    which process barriers cost more than the scans they parallelise.
+    ``cores`` is injectable for tests; it defaults to the live affinity
+    count (:func:`available_cores`).
 
     Work traces for the simulated machine only exist on the vectorized
     backend, so ``emit_trace=True`` forces numpy regardless of size.
@@ -53,6 +81,41 @@ def choose_engine(
             reason=(
                 f"work estimate {work} < {threshold}: below the vectorization "
                 f"overhead crossover, interpreted loops win"
+            ),
+            work=work,
+            threshold=threshold,
+        )
+    if workers >= 2:
+        cores = available_cores() if cores is None else int(cores)
+        effective = min(int(workers), cores)
+        if effective >= 2 and work >= mp_threshold:
+            return DispatchDecision(
+                engine="mp",
+                reason=(
+                    f"work estimate {work} >= {mp_threshold} with "
+                    f"{effective} usable workers (requested {workers}, "
+                    f"{cores} cores): per-level scans amortise the process "
+                    f"barriers"
+                ),
+                work=work,
+                threshold=threshold,
+            )
+        if effective < 2:
+            decline = (
+                f"mp declined: min(workers={workers}, cores={cores}) = "
+                f"{effective} < 2, a pool pinned to one core only adds "
+                f"barrier latency"
+            )
+        else:
+            decline = (
+                f"mp declined: work estimate {work} < {mp_threshold}, "
+                f"process barriers would dominate the per-level scans"
+            )
+        return DispatchDecision(
+            engine="numpy",
+            reason=(
+                f"work estimate {work} >= {threshold}: bulk kernels amortise "
+                f"their per-call overhead ({decline})"
             ),
             work=work,
             threshold=threshold,
@@ -85,6 +148,7 @@ def ms_bfs_graft(
     telemetry=None,
     threads: int = 4,
     seed: SeedLike = 0,
+    workers: int | None = None,
 ) -> MatchResult:
     """Maximum cardinality bipartite matching by MS-BFS with tree grafting.
 
@@ -109,12 +173,14 @@ def ms_bfs_graft(
         (Beamer's degree-weighted rule); see
         :class:`~repro.core.options.GraftOptions`.
     engine:
-        ``"auto"`` (cost-model dispatch between python and numpy, see
-        :func:`choose_engine`), ``"numpy"`` (vectorized, parallel
-        semantics, emits work traces), ``"python"`` (serial reference), or
-        ``"interleaved"`` (simulated concurrent execution; honours
-        ``threads`` and ``seed``). Passing a concrete engine name is the
-        explicit override of the dispatcher.
+        ``"auto"`` (cost-model dispatch between python, numpy, and — when
+        ``workers >= 2`` — mp, see :func:`choose_engine`), ``"numpy"``
+        (vectorized, parallel semantics, emits work traces), ``"python"``
+        (serial reference), ``"interleaved"`` (simulated concurrent
+        execution; honours ``threads`` and ``seed``), or ``"mp"``
+        (process-parallel shared-memory pool; honours ``workers``).
+        Passing a concrete engine name is the explicit override of the
+        dispatcher.
     record_frontiers:
         Record per-level frontier sizes (Fig. 8).
     emit_trace:
@@ -138,6 +204,14 @@ def ms_bfs_graft(
         claims, grafts vs rebuilds, ...); see ``docs/observability.md``.
     threads, seed:
         Interleaved engine: simulated thread count and schedule seed.
+    workers:
+        Process count for the mp engine; also the worker term of the
+        ``"auto"`` cost model (mp is only considered when ``workers >= 2``
+        and at least two cores are actually available). ``None`` means "not
+        requested": auto-dispatch never picks mp, while an explicit
+        ``engine="mp"`` falls back to the pool default
+        (:data:`~repro.parallel.procpool.DEFAULT_WORKERS`). The result is
+        bit-identical for every worker count.
 
     Returns
     -------
@@ -158,11 +232,18 @@ def ms_bfs_graft(
         telemetry=telemetry,
     )
     if engine == "auto":
-        engine = choose_engine(graph, emit_trace=emit_trace).engine
+        engine = choose_engine(
+            graph, emit_trace=emit_trace, workers=workers if workers is not None else 1
+        ).engine
     if engine == "numpy":
         return run_numpy(graph, initial, options)
     if engine == "python":
         return run_python(graph, initial, options)
     if engine == "interleaved":
         return run_interleaved(graph, initial, options, threads=threads, seed=seed)
+    if engine == "mp":
+        return run_mp(
+            graph, initial, options,
+            workers=max(workers if workers is not None else DEFAULT_WORKERS, 1),
+        )
     raise ReproError(f"unknown engine {engine!r}; expected one of {_ENGINES}")

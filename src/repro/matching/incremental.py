@@ -17,10 +17,11 @@ update sequences.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 import numpy as np
 
+from repro.core.bitset import bitset_set, bitset_test, bitset_words
 from repro.errors import MatchingError
 from repro.graph.builder import from_edges
 from repro.graph.csr import BipartiteCSR
@@ -133,16 +134,27 @@ class IncrementalMatcher:
     def _augment_once(self) -> bool:
         """One multi-source alternating BFS; augments and returns True on
         success. Because the matching was maximum before the last update,
-        at most one augmenting path can exist, so a single pass suffices."""
-        parent: Dict[int, int] = {}
+        at most one augmenting path can exist, so a single pass suffices.
+
+        Visited Y vertices are tracked in the same bit-packed uint64 words
+        the engines use (:mod:`repro.core.bitset`), not a per-vertex hash
+        set: the packed mirror is the representation every other BFS in the
+        repo consults, its footprint is a fixed ``ceil(n_y / 64)`` words
+        per repair instead of a dict that rehashes as the frontier grows,
+        and testing it here keeps the incremental path covered by the same
+        visited semantics the kernel differential suite certifies.
+        """
+        visited = bitset_words(self.n_y)
+        parent = np.full(self.n_y, UNMATCHED, dtype=np.int64)
         frontier = [x for x in range(self.n_x) if self.mate_x[x] == UNMATCHED]
         end_y = -1
         while frontier and end_y == -1:
             next_frontier: List[int] = []
             for x in frontier:
                 for y in self.adj_x[x]:
-                    if y in parent:
+                    if bitset_test(visited, y):
                         continue
+                    bitset_set(visited, y)
                     parent[y] = x
                     mate = self.mate_y[y]
                     if mate == UNMATCHED:
@@ -156,7 +168,7 @@ class IncrementalMatcher:
             return False
         y = end_y
         while True:
-            x = parent[y]
+            x = int(parent[y])
             prev = self.mate_x[x]
             self.mate_x[x] = y
             self.mate_y[y] = x

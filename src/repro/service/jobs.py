@@ -21,7 +21,7 @@ from repro.bench.suite import suite_specs
 from repro.errors import ServiceError
 from repro.graph.csr import BipartiteCSR
 
-_ENGINES = ("auto", "numpy", "python", "interleaved")
+_ENGINES = ("auto", "numpy", "python", "interleaved", "mp")
 
 
 @dataclass(frozen=True)

@@ -9,8 +9,12 @@ its decision table rather than timings (timings live in
 import pytest
 
 import repro
-from repro.core.driver import choose_engine, ms_bfs_graft
-from repro.core.options import DISPATCH_WORK_THRESHOLD, DispatchDecision
+from repro.core.driver import available_cores, choose_engine, ms_bfs_graft
+from repro.core.options import (
+    DISPATCH_WORK_THRESHOLD,
+    MP_DISPATCH_MIN_WORK,
+    DispatchDecision,
+)
 from repro.errors import ReproError
 from repro.graph.generators import chain_graph, random_bipartite
 
@@ -59,6 +63,67 @@ class TestChooseEngine:
         with pytest.raises(AttributeError):
             decision.engine = "numpy"
         assert decision.reason  # human-readable, never empty
+
+
+@pytest.fixture(scope="module")
+def huge_graph():
+    # work = nnz + n_x + n_y must clear MP_DISPATCH_MIN_WORK.
+    n = 40_000
+    return random_bipartite(n, n, MP_DISPATCH_MIN_WORK, seed=3)
+
+
+class TestMpDispatch:
+    """The worker-count term: mp enters the decision only on request, and
+    only when the pool can actually run in parallel."""
+
+    def test_default_never_considers_mp(self, large_graph):
+        # workers defaults to 1: every pre-existing decision is unchanged.
+        decision = choose_engine(large_graph, emit_trace=False)
+        assert decision.engine == "numpy"
+        assert "mp" not in decision.reason
+
+    def test_mp_picked_with_cores_and_work(self, huge_graph):
+        decision = choose_engine(huge_graph, emit_trace=False, workers=4, cores=8)
+        assert decision.engine == "mp"
+        assert "usable workers" in decision.reason
+
+    def test_mp_declined_on_one_core(self, huge_graph):
+        # The acceptance criterion's honest branch: on a single-core host
+        # the cost model must decline, with the core count in the reason.
+        decision = choose_engine(huge_graph, emit_trace=False, workers=4, cores=1)
+        assert decision.engine == "numpy"
+        assert "mp declined" in decision.reason and "cores=1" in decision.reason
+
+    def test_mp_declined_below_work_floor(self, large_graph):
+        # large_graph clears the python/numpy threshold but not the mp floor.
+        assert large_graph.nnz + large_graph.n_x + large_graph.n_y < MP_DISPATCH_MIN_WORK
+        decision = choose_engine(large_graph, emit_trace=False, workers=4, cores=8)
+        assert decision.engine == "numpy"
+        assert "mp declined" in decision.reason and "work estimate" in decision.reason
+
+    def test_worker_request_capped_by_cores(self, huge_graph):
+        decision = choose_engine(huge_graph, emit_trace=False, workers=16, cores=2)
+        assert decision.engine == "mp"
+        assert "2 usable workers" in decision.reason
+
+    def test_trace_still_forces_numpy(self, huge_graph):
+        decision = choose_engine(huge_graph, emit_trace=True, workers=4, cores=8)
+        assert decision.engine == "numpy"
+
+    def test_small_graph_still_python(self, small_graph):
+        # The python crossover outranks any worker request.
+        decision = choose_engine(small_graph, emit_trace=False, workers=4, cores=8)
+        assert decision.engine == "python"
+
+    def test_live_cores_default_is_sane(self):
+        assert available_cores() >= 1
+
+    def test_auto_with_workers_end_to_end(self, large_graph):
+        # Whatever the host's core count decides, auto + workers must still
+        # produce the exact numpy answer (mp is trajectory-identical).
+        auto = ms_bfs_graft(large_graph, engine="auto", workers=4, emit_trace=False)
+        explicit = ms_bfs_graft(large_graph, engine="numpy", emit_trace=False)
+        assert auto.cardinality == explicit.cardinality
 
 
 class TestAutoDispatchEndToEnd:

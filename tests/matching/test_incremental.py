@@ -126,3 +126,65 @@ class TestAlwaysMaximumInvariant:
         for i in range(n):
             assert matcher.remove_edge(i, i) is True
         assert matcher.cardinality == 0
+
+
+class TestPackedVisitedRepairBFS:
+    """Regression tests for the repair BFS's packed ``visited_words`` mirror.
+
+    The repair BFS used to track visited Y vertices in a per-call dict; it
+    now consults the same bit-packed uint64 words as the engines
+    (:mod:`repro.core.bitset`). These cases pin the semantics the packed
+    representation must preserve: first-visit-wins parenting across shared
+    words, vertices on both sides of a 64-bit word boundary, and exact
+    agreement with from-scratch recomputation on instances big enough that
+    many Y indices hash into the same word.
+    """
+
+    def test_shared_word_first_visit_wins(self):
+        # y0 and y1 share packed word 0; reaching y1 from two different x's
+        # in the same level must keep the first parent (the dict version's
+        # `if y in parent` guard), or the augmenting-path walk corrupts
+        # mate_x. A diamond forces the double reach.
+        m = IncrementalMatcher(3, 2)
+        m.add_edge(0, 0)   # x0-y0 matched
+        m.add_edge(1, 0)   # x1 blocked on y0
+        m.add_edge(2, 0)   # x2 also blocked on y0
+        assert m.cardinality == 1
+        grew = m.add_edge(0, 1)  # opens x1(or x2)-y0-x0-y1
+        assert grew is True
+        assert m.cardinality == 2
+        verify_maximum(m.graph(), m.matching())
+
+    def test_word_boundary_vertices(self):
+        # Y vertices 63 and 64 land in different packed words; an
+        # off-by-one in the word/bit split would either false-positive
+        # (path never found) or false-negative (vertex visited twice).
+        n = 70
+        m = IncrementalMatcher(n, n)
+        for i in (62, 63, 64, 65):
+            assert m.add_edge(i, i) is True
+        # Chain across the boundary: free x61 -> y63 -> mate x63 -> y64 ...
+        m.adj_x[61].add(63)
+        m.adj_y[63].add(61)
+        m.adj_x[63].add(64)
+        m.adj_y[64].add(63)
+        m.adj_x[64].add(66)
+        m.adj_y[66].add(64)
+        assert m._augment_once() is True
+        assert m.cardinality == 5
+        verify_maximum(m.graph(), m.matching())
+
+    def test_dense_instance_matches_recompute(self):
+        # 130 Y vertices -> 3 packed words, heavily shared; every repair
+        # must still agree with a from-scratch maximum.
+        g = random_bipartite(130, 130, 700, seed=3)
+        m = IncrementalMatcher.from_graph(g)
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            x, y = int(rng.integers(130)), int(rng.integers(130))
+            if m.has_edge(x, y):
+                m.remove_edge(x, y)
+            else:
+                m.add_edge(x, y)
+        assert m.cardinality == recompute_maximum(m)
+        verify_maximum(m.graph(), m.matching())
