@@ -112,6 +112,19 @@ class GraphCache:
             source=source or f"{kind}:{name} {dict(params)}",
         )
 
+    def load_entry(self, key: str) -> Optional[PreparedGraph]:
+        """Load an existing entry by its content key, or ``None``.
+
+        The lookup-by-key counterpart of the ``prepare_*`` builders, for
+        callers that persisted a key instead of a spec — the online
+        daemon's ``snapshot``/``load`` round trip restores sessions this
+        way. Integrity failures behave like any lookup: the entry is
+        removed and the call reports a miss.
+        """
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            return None
+        return self._lookup(key)
+
     def warm_start(self, prepared: PreparedGraph, seed: int) -> Matching:
         """Karp-Sipser warm start for ``prepared``, cached per seed.
 

@@ -285,6 +285,81 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online matching daemon until a client sends shutdown."""
+    from repro.service.online import MatchingDaemon, OnlineConfig
+    from repro.telemetry import Telemetry, write_prometheus
+
+    telemetry = Telemetry()
+    daemon = MatchingDaemon(
+        OnlineConfig(
+            socket_path=args.socket,
+            max_sessions=args.max_sessions,
+            default_deadline_seconds=args.deadline,
+            cache_dir=args.cache_dir,
+        ),
+        telemetry=telemetry,
+    )
+    print(f"online daemon listening on {args.socket} "
+          f"(max_sessions={args.max_sessions}"
+          + (f", default deadline {args.deadline}s" if args.deadline else "")
+          + (f", cache {args.cache_dir}" if args.cache_dir else "")
+          + ")", file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    if args.metrics_out:
+        write_prometheus(telemetry.metrics, args.metrics_out)
+        print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
+    print(f"served {daemon.requests_served} requests; "
+          f"{daemon.sessions.evictions} session evictions", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Drive a scripted session against a running daemon.
+
+    Reads one JSON request per line (``{"cmd": ..., "session": ..., ...}``)
+    from ``--script`` or stdin — the ``id`` field is assigned by the
+    client — and prints each result as one JSON line. Exits non-zero on
+    the first failed request.
+    """
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service.online import OnlineClient
+
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    with OnlineClient(args.socket) as client:
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"script line {lineno} is not JSON: {exc}", file=sys.stderr)
+                return 1
+            if not isinstance(request, dict) or "cmd" not in request:
+                print(f"script line {lineno} needs a 'cmd' field", file=sys.stderr)
+                return 1
+            cmd = request.pop("cmd")
+            session = request.pop("session", None)
+            try:
+                result = client.request(cmd, session, **request)
+            except ServiceError as exc:
+                print(f"request {lineno} ({cmd}) failed: {exc}", file=sys.stderr)
+                return 1
+            print(json.dumps({"cmd": cmd, "result": result},
+                             separators=(",", ":")))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.graph.io import write_matrix_market
     from repro.graph.serialize import save_graph
@@ -729,6 +804,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resolve job graphs through this "
                               "content-addressed cache directory")
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="online matching daemon (sessions + streaming edge updates "
+             "over a local socket)",
+    )
+    p_serve.add_argument("--socket", required=True,
+                         help="Unix socket path to listen on")
+    p_serve.add_argument("--max-sessions", type=int, default=16,
+                         help="LRU cap on resident sessions (default 16)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="default per-request repair deadline in seconds "
+                              "(requests may override with deadline_seconds)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="content-addressed cache directory backing "
+                              "snapshot/load (no cache: those commands error)")
+    p_serve.add_argument("--metrics-out", default=None,
+                         help="write daemon metrics here (Prometheus text "
+                              "format) after shutdown")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="drive a scripted session against a running online daemon",
+    )
+    p_client.add_argument("--socket", required=True,
+                          help="Unix socket path of the daemon")
+    p_client.add_argument("--script", default=None,
+                          help="file of JSON requests, one per line "
+                               "(default: stdin); '#' lines are comments")
+    p_client.set_defaults(fn=_cmd_client)
 
     p_gen = sub.add_parser("generate", help="write a suite graph to .mtx or .npz")
     p_gen.add_argument("--graph", choices=suite_specs(), default="rmat")

@@ -11,6 +11,12 @@ reference engine, checkpoints every certified matching through
 recomputing completed jobs. ``repro-match batch`` is the CLI front end;
 ``docs/service.md`` documents the job model, the JSONL event schema, and
 the failure semantics.
+
+The online half (:mod:`repro.service.online`) is a resident daemon for
+streaming workloads: per-graph sessions (:mod:`repro.service.sessions`)
+absorbing edge-update batches over a line-delimited JSON protocol
+(:mod:`repro.service.protocol`), repaired incrementally by one batched
+multi-source BFS per request. ``repro-match serve`` starts it.
 """
 
 from repro.core.options import Deadline
@@ -26,7 +32,9 @@ from repro.service.jobs import (
     resolve_graph,
     suite_jobs,
 )
+from repro.service.online import MatchingDaemon, OnlineClient, OnlineConfig
 from repro.service.retry import RetryPolicy, classify_failure
+from repro.service.sessions import Session, SessionManager
 
 __all__ = [
     "BatchExecutor",
@@ -39,9 +47,14 @@ __all__ = [
     "JobSpec",
     "KNOWN_FAULTS",
     "ManualClock",
+    "MatchingDaemon",
+    "OnlineClient",
+    "OnlineConfig",
     "RetryPolicy",
     "RunDirectory",
     "ServiceError",
+    "Session",
+    "SessionManager",
     "SystemClock",
     "TransientEngineError",
     "classify_failure",

@@ -44,6 +44,11 @@ EVENT_NAMES = frozenset({
     JOB_FAILED, TELEMETRY_SPAN, TELEMETRY_METRIC,
 })
 
+RESERVED_FIELDS = frozenset({"seq", "ts", "event"})
+"""Record keys the log itself owns; :meth:`EventLog.emit` rejects them as
+extra fields so a caller can never silently clobber the sequence number,
+timestamp, or event name of a record."""
+
 
 class EventLog:
     """Append-only JSONL writer for service events.
@@ -60,11 +65,26 @@ class EventLog:
         self._seq = _last_seq(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
+        # A crash tears the last line mid-write, leaving no trailing
+        # newline; without this the resumed writer's first record would be
+        # appended onto the torn fragment and be destroyed with it.
+        if self._fh.tell() > 0:
+            with open(self.path, "rb") as check:
+                check.seek(-1, 2)
+                if check.read(1) != b"\n":
+                    self._fh.write("\n")
+                    self._fh.flush()
 
     def emit(self, event: str, job: str | None = None, **fields: Any) -> Dict[str, Any]:
         """Write one event line; returns the record as written."""
         if event not in EVENT_NAMES:
             raise ServiceError(f"unknown event {event!r}; known: {sorted(EVENT_NAMES)}")
+        reserved = RESERVED_FIELDS.intersection(fields)
+        if reserved:
+            raise ServiceError(
+                f"field name(s) {sorted(reserved)} are reserved by the event "
+                f"log record itself; rename the field(s)"
+            )
         self._seq += 1
         record: Dict[str, Any] = {"seq": self._seq, "ts": round(self._clock(), 6),
                                   "event": event}
@@ -101,23 +121,50 @@ def _last_seq(path: Path) -> int:
 
 
 def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Read an event log back; tolerates one torn (crashed) trailing line."""
+    """Read an event log back, tolerating crash-torn lines.
+
+    A mid-write crash tears at most the line being written. Before a
+    resume that torn line is the *last* line; after a crash-then-resume it
+    sits mid-file with well-formed, ``seq``-carrying records appended
+    below it (``_last_seq`` already skips it when computing the resume
+    sequence, so the writer and the reader must agree that it is damage,
+    not data). Torn lines in either position are skipped; a malformed line
+    followed only by records *without* a ``seq`` is not crash-shaped and
+    still raises :class:`~repro.errors.ServiceError`.
+    """
+    return read_events_with_stats(path)[0]
+
+
+def read_events_with_stats(
+    path: Union[str, Path]
+) -> tuple[List[Dict[str, Any]], int]:
+    """Like :func:`read_events`, also returning the torn-line skip count."""
     events: List[Dict[str, Any]] = []
     path = Path(path)
     if not path.exists():
-        return events
+        return events, 0
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.read().splitlines()
+    torn: List[int] = []  # 1-based line numbers of unparseable lines
     for i, line in enumerate(lines):
-        if not line.strip():
+        stripped = line.strip()
+        if not stripped:
             continue
         try:
-            events.append(json.loads(line))
+            record = json.loads(stripped)
         except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                break  # torn tail from a mid-write crash: drop it
-            raise ServiceError(f"{path}:{i + 1}: corrupt event line")
-    return events
+            # Crash damage iff every later record carries a seq (a resumed
+            # writer only ever appends full records) — vacuously true for
+            # tail damage. The check happens as later lines are parsed.
+            torn.append(i + 1)
+            continue
+        if torn and not (isinstance(record, dict) and "seq" in record):
+            raise ServiceError(
+                f"{path}:{torn[0]}: corrupt event line (line {i + 1} after "
+                f"it carries no seq, so this is not crash-then-resume damage)"
+            )
+        events.append(record)
+    return events, len(torn)
 
 
 def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, int]:

@@ -47,11 +47,17 @@ class RetryPolicy:
             raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
-        """Delay before retrying after failed attempt number ``attempt`` (1-based)."""
+        """Delay before retrying after failed attempt number ``attempt`` (1-based).
+
+        ``max_delay`` caps the *returned* delay: jitter stretches the raw
+        exponential term but never pushes the result past the documented
+        ceiling (it used to, by up to ``jitter``×, once the exponential
+        term saturated the cap).
+        """
         if attempt < 1:
             raise ServiceError(f"attempt numbers are 1-based, got {attempt}")
         raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
-        return raw * (1.0 + self.jitter * float(rng.random()))
+        return min(raw * (1.0 + self.jitter * float(rng.random())), self.max_delay)
 
 
 def classify_failure(exc: BaseException) -> str:

@@ -153,6 +153,32 @@ class Histogram(_Instrument):
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (Prometheus ``histogram_quantile`` rule).
+
+        Linear interpolation within the bucket that crosses rank
+        ``q * count``; observations in the +Inf bucket clamp to the highest
+        finite bound (the standard conservative convention). Returns 0.0
+        for an empty histogram. Used by the online daemon's ``stats``
+        command for p99 repair latency.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            running = 0
+            for i, c in enumerate(self.bucket_counts[:-1]):
+                prev = running
+                running += c
+                if running >= rank and c:
+                    lower = self.buckets[i - 1] if i > 0 else 0.0
+                    upper = self.buckets[i]
+                    return lower + (upper - lower) * ((rank - prev) / c)
+            return float(self.buckets[-1])
+
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

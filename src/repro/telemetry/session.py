@@ -98,6 +98,21 @@ class NullTelemetry:
     def count_degradation(self) -> None:
         return None
 
+    def count_request(self, cmd: str, status: str) -> None:
+        return None
+
+    def count_updates(self, n: int) -> None:
+        return None
+
+    def observe_repair(self, seconds: float) -> None:
+        return None
+
+    def count_eviction(self) -> None:
+        return None
+
+    def set_sessions(self, n: int) -> None:
+        return None
+
 
 NULL_TELEMETRY = NullTelemetry()
 
@@ -259,6 +274,43 @@ class Telemetry(NullTelemetry):
             "repro_job_degradations_total",
             "Jobs degraded to the python reference engine",
         ).inc()
+
+    # ------------------------------------------------------------------ #
+    # online-daemon vocabulary (wired through repro.service.online)
+    # ------------------------------------------------------------------ #
+
+    def count_request(self, cmd: str, status: str) -> None:
+        """One daemon request finished: ``status`` is ok/error-kind."""
+        self.metrics.counter(
+            "repro_online_requests_total",
+            "Online daemon requests by command and terminal status",
+            labels={"cmd": cmd, "status": status},
+        ).inc()
+
+    def count_updates(self, n: int) -> None:
+        if n:
+            self.metrics.counter(
+                "repro_online_updates_total",
+                "Edge updates (inserts + deletes) absorbed by online sessions",
+            ).inc(int(n))
+
+    def observe_repair(self, seconds: float) -> None:
+        """Latency of one batched incremental repair (SLO: p99 of this)."""
+        self.metrics.histogram(
+            "repro_online_repair_seconds",
+            "Batched incremental-repair latency per update request",
+        ).observe(float(seconds))
+
+    def count_eviction(self) -> None:
+        self.metrics.counter(
+            "repro_online_session_evictions_total",
+            "Sessions evicted by the LRU cap",
+        ).inc()
+
+    def set_sessions(self, n: int) -> None:
+        self.metrics.gauge(
+            "repro_online_sessions", "Resident online sessions"
+        ).set(int(n))
 
     # ------------------------------------------------------------------ #
     # cache vocabulary (wired through repro.cache)

@@ -11,6 +11,7 @@ from repro.service.events import (
     JOB_STARTED,
     EventLog,
     read_events,
+    read_events_with_stats,
     summarize_events,
 )
 
@@ -68,13 +69,67 @@ class TestEventLog:
             rec = log.emit(JOB_DONE, "j1")
         assert rec["seq"] >= 2
 
-    def test_corrupt_interior_line_raises(self, tmp_path):
+    def test_torn_interior_line_skipped_when_crash_shaped(self, tmp_path):
+        # Crash-then-resume: the torn line sits mid-file because a resumed
+        # writer appended full seq-bearing records below it. That is crash
+        # damage, not corruption — the reader must skip (and count) it,
+        # matching what _last_seq already does on the write side. This used
+        # to raise, making a crashed-then-resumed run directory unreadable.
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps({"seq": 1, "event": JOB_STARTED}),
+                 '{"seq": 2, "event": "job_do',  # torn mid-write
+                 json.dumps({"seq": 2, "event": JOB_DONE})]
+        path.write_text("\n".join(lines) + "\n")
+        events, torn = read_events_with_stats(path)
+        assert [e["seq"] for e in events] == [1, 2]
+        assert torn == 1
+        assert read_events(path) == events
+
+    def test_torn_line_followed_by_seqless_record_raises(self, tmp_path):
+        # A malformed line followed by a record WITHOUT a seq cannot be
+        # crash-then-resume damage (resumed writers only append full
+        # records): that is genuine corruption and must still raise.
         path = tmp_path / "events.jsonl"
         lines = [json.dumps({"seq": 1, "event": JOB_STARTED}), "garbage",
-                 json.dumps({"seq": 2, "event": JOB_DONE})]
+                 json.dumps({"event": JOB_DONE})]
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ServiceError, match="corrupt"):
             read_events(path)
+
+    def test_crash_then_resume_roundtrip(self, tmp_path):
+        # End-to-end: write, crash mid-line, resume-append, read back.
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(JOB_STARTED, "j1", attempt=1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "event": "job_don')  # crash mid-write
+        with EventLog(path) as log:  # resume appends below the damage
+            log.emit(JOB_DONE, "j1")
+        events, torn = read_events_with_stats(path)
+        assert torn == 1
+        assert [e["event"] for e in events] == [JOB_STARTED, JOB_DONE]
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    @pytest.mark.parametrize("name", ["seq", "ts"])
+    def test_reserved_field_rejected(self, tmp_path, name):
+        # **fields named seq/ts used to silently clobber the record's own
+        # keys (record.update(fields) runs last), forging sequence numbers
+        # and timestamps in the durable log. ("event" as a keyword already
+        # collides with the positional parameter at the Python call level,
+        # but it is in RESERVED_FIELDS too for dict-driven callers.)
+        with EventLog(tmp_path / "e.jsonl") as log:
+            with pytest.raises(ServiceError, match="reserved"):
+                log.emit(JOB_DONE, "j1", **{name: "spoofed"})
+        assert read_events(tmp_path / "e.jsonl") == []
+
+    def test_reserved_rejection_does_not_burn_seq(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            with pytest.raises(ServiceError):
+                log.emit(JOB_DONE, "j1", seq=99)
+            rec = log.emit(JOB_DONE, "j1")
+        assert rec["seq"] == 1
 
 
 class TestSummaries:

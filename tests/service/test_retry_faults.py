@@ -32,6 +32,26 @@ class TestRetryPolicy:
             delay = p.backoff_seconds(1, rng)
             assert 1.0 <= delay <= 1.5
 
+    def test_jitter_never_exceeds_max_delay(self):
+        # Regression: jitter used to be applied AFTER the max_delay cap,
+        # so a saturated exponential term could return up to jitter x past
+        # the documented ceiling (here: up to 3.0 with max_delay=2.0).
+        p = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0,
+                        jitter=0.5)
+        for seed in range(50):
+            rng = as_rng(seed)
+            for attempt in range(1, 8):
+                assert p.backoff_seconds(attempt, rng) <= 2.0
+
+    def test_jitter_still_stretches_below_the_cap(self):
+        # The clamp must not flatten jitter where the raw term is far from
+        # the cap — delays below max_delay still spread out.
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=100.0,
+                        jitter=0.5)
+        delays = {p.backoff_seconds(1, as_rng(seed)) for seed in range(20)}
+        assert len(delays) > 1
+        assert all(1.0 <= d <= 1.5 for d in delays)
+
     def test_attempts_are_one_based(self):
         with pytest.raises(ServiceError):
             RetryPolicy().backoff_seconds(0, as_rng(0))
