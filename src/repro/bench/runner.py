@@ -67,6 +67,8 @@ def run_algorithm(
     phase_hook=None,
     telemetry=None,
     workers: int | None = None,
+    flight_dir: str | None = None,
+    mp_min_level_items: int | None = None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
@@ -77,9 +79,11 @@ def run_algorithm(
     MS-BFS-Graft backend dispatcher, ``deadline`` is the cooperative soft
     timeout, ``phase_hook`` a per-phase callback, ``telemetry`` a
     :class:`repro.telemetry.Telemetry` session, and ``workers`` the process
-    count for ``engine="mp"`` (and the worker term of ``"auto"``); all five
-    apply only to the driver-backed algorithms in :data:`ENGINE_AWARE` —
-    the batch service threads its deadlines, fault hooks, and telemetry
+    count for ``engine="mp"`` (and the worker term of ``"auto"``).
+    ``flight_dir`` and ``mp_min_level_items`` pass through to the mp
+    engine's crash flight recorder and scatter floor. All of these apply
+    only to the driver-backed algorithms in :data:`ENGINE_AWARE` — the
+    batch service threads its deadlines, fault hooks, and telemetry
     through here.
     """
     fn = ALGORITHMS.get(name)
@@ -96,6 +100,10 @@ def run_algorithm(
         driver_kwargs["telemetry"] = telemetry
     if workers is not None:
         driver_kwargs["workers"] = workers
+    if flight_dir is not None:
+        driver_kwargs["flight_dir"] = flight_dir
+    if mp_min_level_items is not None:
+        driver_kwargs["mp_min_level_items"] = mp_min_level_items
     if driver_kwargs and name not in ENGINE_AWARE:
         raise BenchmarkError(
             f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "

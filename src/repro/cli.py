@@ -89,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
     result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
                            engine=args.engine, telemetry=telemetry,
-                           workers=args.workers)
+                           workers=args.workers, flight_dir=args.flight_dir)
     verify_maximum(graph, result.matching)
     if telemetry is not None:
         from repro.telemetry import write_prometheus
@@ -297,6 +297,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             default_deadline_seconds=args.deadline,
             cache_dir=args.cache_dir,
+            metrics_port=args.metrics_port,
+            flight_dir=args.flight_dir,
         ),
         telemetry=telemetry,
     )
@@ -304,6 +306,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(max_sessions={args.max_sessions}"
           + (f", default deadline {args.deadline}s" if args.deadline else "")
           + (f", cache {args.cache_dir}" if args.cache_dir else "")
+          + (f", metrics port {args.metrics_port}"
+             if args.metrics_port is not None else "")
+          + (f", flight dumps to {args.flight_dir}" if args.flight_dir else "")
           + ")", file=sys.stderr)
     try:
         daemon.serve_forever()
@@ -446,7 +451,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     graph, initial, cache_status = _acquire_suite_graph(args, telemetry=telemetry)
     result = run_algorithm(args.algorithm, graph, initial, seed=args.seed,
                            engine=args.engine, telemetry=telemetry,
-                           workers=args.workers)
+                           workers=args.workers,
+                           flight_dir=args.flight_dir,
+                           mp_min_level_items=args.mp_min_level)
     verify_maximum(graph, result.matching)
     out = args.out or f"{args.graph}.trace.json"
     write_chrome_trace(
@@ -455,7 +462,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   "algorithm": result.algorithm,
                   "cardinality": int(result.cardinality)},
     )
-    coverage = telemetry.tracer.coverage()
+    # merged_coverage() == coverage() when there are no worker lanes, and
+    # additionally requires every mp worker lane to account for its own
+    # window (scan + idle spans) when there are.
+    coverage = telemetry.tracer.merged_coverage()
+    lanes = telemetry.tracer.lane_coverage()
     spans = [s for s in telemetry.tracer.spans if not s.open]
     print(f"graph    : {args.graph} (scale {args.scale}); "
           f"n={graph.num_vertices:,} m={graph.num_directed_edges:,}")
@@ -464,8 +475,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"|M|      : {result.cardinality:,} (maximum, certified)")
     print(f"trace    : {out} ({len(spans)} spans; open in "
           f"https://ui.perfetto.dev or chrome://tracing)")
-    print(f"coverage : {coverage:.1%} of the run span is covered by "
-          f"phase/setup spans")
+    if lanes:
+        lane_text = ", ".join(
+            f"pid {pid} {cov:.1%}" for pid, cov in sorted(lanes.items())
+        )
+        print(f"lanes    : {len(lanes)} mp worker lanes ({lane_text})")
+    print(f"coverage : {coverage:.1%} of the run is covered by spans "
+          f"(master phases{' + worker lanes' if lanes else ''})")
     if args.metrics_out:
         write_prometheus(telemetry.metrics, args.metrics_out)
         print(f"metrics  : {args.metrics_out} (Prometheus text format)")
@@ -720,6 +736,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--threads", type=int, default=40,
                        help="simulated thread count for the --report cost "
                             "model (default: 40, the paper's Mirasol runs)")
+    p_run.add_argument("--flight-dir", default=None,
+                       help="mp engine: dump the crash flight recorder here "
+                            "on worker crashes / deadline expiry")
     p_run.add_argument("--metrics-out", default=None,
                        help="write run metrics here in Prometheus text "
                             "exposition format")
@@ -823,6 +842,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", default=None,
                          help="write daemon metrics here (Prometheus text "
                               "format) after shutdown")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve live metrics over HTTP GET /metrics on "
+                              "this loopback port while running (0 picks an "
+                              "ephemeral port)")
+    p_serve.add_argument("--flight-dir", default=None,
+                         help="keep a flight-recorder ring of recent requests "
+                              "and dump it here as JSONL whenever a request "
+                              "fails")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -900,8 +927,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--jsonl-out", default=None,
                          help="also write spans+metrics as EventLog-compatible JSONL")
     p_trace.add_argument("--min-coverage", type=float, default=0.0,
-                         help="fail (exit 1) if phase/setup spans cover less "
-                              "than this fraction of the run span (e.g. 0.95)")
+                         help="fail (exit 1) if spans cover less than this "
+                              "fraction of the run (e.g. 0.95); with mp worker "
+                              "lanes this is the minimum over the master "
+                              "phase coverage and every worker lane")
+    p_trace.add_argument("--mp-min-level", type=int, default=None,
+                         help="mp engine: override the per-level scatter "
+                              "floor (0 forces every level through the "
+                              "worker pool, giving full worker lanes)")
+    p_trace.add_argument("--flight-dir", default=None,
+                         help="mp engine: dump the crash flight recorder "
+                              "here on worker crashes / deadline expiry")
     p_trace.add_argument("--cache-dir", default=None,
                          help="content-addressed graph cache directory; on a "
                               "warm entry the trace contains no build span")

@@ -149,6 +149,8 @@ def ms_bfs_graft(
     threads: int = 4,
     seed: SeedLike = 0,
     workers: int | None = None,
+    flight_dir: str | None = None,
+    mp_min_level_items: int | None = None,
 ) -> MatchResult:
     """Maximum cardinality bipartite matching by MS-BFS with tree grafting.
 
@@ -212,6 +214,17 @@ def ms_bfs_graft(
         ``engine="mp"`` falls back to the pool default
         (:data:`~repro.parallel.procpool.DEFAULT_WORKERS`). The result is
         bit-identical for every worker count.
+    flight_dir:
+        Directory for crash flight-recorder dumps (mp engine): the master
+        keeps a bounded ring of per-level events and writes it there as
+        post-mortem JSONL on worker crashes or deadline expiry. ``None``
+        (the default) records nothing.
+    mp_min_level_items:
+        mp engine only: override the per-level scatter floor
+        (:data:`~repro.parallel.procpool.MIN_LEVEL_ITEMS`). Levels with
+        fewer work items run on the master; ``0`` forces every level
+        through the pool (tests, tracing demos). ``None`` keeps the
+        default. The result is identical either way.
 
     Returns
     -------
@@ -230,6 +243,7 @@ def ms_bfs_graft(
         deadline=deadline,
         phase_hook=phase_hook,
         telemetry=telemetry,
+        flight_dir=flight_dir,
     )
     if engine == "auto":
         engine = choose_engine(
@@ -242,8 +256,12 @@ def ms_bfs_graft(
     if engine == "interleaved":
         return run_interleaved(graph, initial, options, threads=threads, seed=seed)
     if engine == "mp":
+        mp_kwargs = {}
+        if mp_min_level_items is not None:
+            mp_kwargs["min_level_items"] = int(mp_min_level_items)
         return run_mp(
             graph, initial, options,
             workers=max(workers if workers is not None else DEFAULT_WORKERS, 1),
+            **mp_kwargs,
         )
     raise ReproError(f"unknown engine {engine!r}; expected one of {_ENGINES}")

@@ -151,6 +151,15 @@ class GraftOptions:
     per phase — the disabled-overhead bound in the telemetry tests relies
     on this field staying a plain attribute. Excluded from equality, like
     the other runtime-only fields."""
+    flight_dir: Optional[str] = field(default=None, compare=False)
+    """Directory for crash flight-recorder dumps (mp engine).
+
+    When set, the mp master keeps a bounded ring of per-level events
+    (:class:`repro.telemetry.flight.FlightRecorder`) and dumps it here as
+    post-mortem JSONL on :class:`~repro.errors.WorkerCrashed` or
+    :class:`~repro.errors.DeadlineExceeded` before re-raising. ``None``
+    (the default) records nothing. Runtime-only like ``telemetry``, so it
+    is excluded from equality."""
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import tempfile
 import time
 from multiprocessing.shared_memory import SharedMemory
 
@@ -49,13 +50,15 @@ from repro.distributed.commit import (
     commit_worker_claims,
     commit_worker_costs,
 )
-from repro.errors import ReproError, WorkerCrashed
+from repro.errors import DeadlineExceeded, ReproError, WorkerCrashed
 from repro.graph.csr import INDEX_DTYPE, BipartiteCSR
 from repro.instrument.counters import Counters
 from repro.instrument.frontier import FrontierLog
 from repro.matching.base import UNMATCHED, MatchResult, Matching, init_matching
 from repro.parallel.trace import WorkTrace
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.session import NULL_TELEMETRY
+from repro.telemetry.worker import WorkerRecorder, merge_worker_traces
 from repro.util.timer import StepTimer
 
 DEFAULT_WORKERS = 2
@@ -246,7 +249,16 @@ def _scan_bottomup(y_ptr, y_adj, root_x, leaf, rows, chunk, out_y, out_x, out_c,
 def _worker_main(conn, shm_name, layout, n_x, n_y, nnz, windex):
     """Worker loop: attach to the segment by name, then serve chunk
     descriptors until told to stop. All shared state is read-only here;
-    the only writes go to this worker's private output regions."""
+    the only writes go to this worker's private output regions.
+
+    ``trace_start``/``trace_stop`` bracket an optional span recorder
+    (:class:`~repro.telemetry.worker.WorkerRecorder`): while active, the
+    worker tiles its own timeline with ``worker_idle`` spans (blocked on
+    the command pipe) and ``worker_scan`` spans (one per superstep), which
+    the master later merges into its tracer as this pid's lane. With no
+    recorder the loop pays one ``is not None`` check per command and
+    allocates nothing — telemetry off stays free.
+    """
     # Workers started through ctx.Process share the master's resource
     # tracker (the tracker fd travels with both fork and spawn), and the
     # tracker's cache is a set — so the attach below re-registering the
@@ -255,6 +267,7 @@ def _worker_main(conn, shm_name, layout, n_x, n_y, nnz, windex):
     # double-remove and make the tracker warn (cpython gh-82300 is about
     # independently *started* trackers, which this layout never creates).
     shm = SharedMemory(name=shm_name)
+    recorder = None
     try:
         arrays = _attach(shm, layout)
         x_ptr, x_adj = arrays["x_ptr"], arrays["x_adj"]
@@ -267,16 +280,40 @@ def _worker_main(conn, shm_name, layout, n_x, n_y, nnz, windex):
         out_c = arrays[f"out_c{windex}"]
         ws = kernels.KernelWorkspace(n_x, n_y, nnz)
         ws.want_costs = False
+        ready = 0.0
         while True:
             msg = conn.recv()
+            now = time.perf_counter() if recorder is not None else 0.0
             cmd = msg[0]
             if cmd == "stop":
                 break
+            if cmd == "trace_start":
+                if recorder is not None:
+                    recorder.close()
+                recorder = WorkerRecorder(msg[1], windex)
+                conn.send(("ok", 0, 0, 0))
+                ready = time.perf_counter()
+                continue
+            if cmd == "trace_stop":
+                if recorder is not None:
+                    recorder.record("worker_idle", ready, time.perf_counter())
+                    recorder.close()
+                    recorder = None
+                conn.send(("ok", 0, 0, 0))
+                continue
+            if recorder is not None:
+                recorder.record("worker_idle", ready, now)
             if cmd == "topdown":
                 _, lo, hi = msg
                 claims, edges, attempts = _scan_topdown(
                     x_ptr, x_adj, visited_words, task[lo:hi], out_y, out_x, ws
                 )
+                if recorder is not None:
+                    recorder.record(
+                        "worker_scan", now, time.perf_counter(),
+                        kind="topdown", items=hi - lo,
+                        claims=claims, edges=edges,
+                    )
                 conn.send(("ok", claims, edges, attempts))
             elif cmd == "bottomup":
                 _, lo, hi, chunk, want_costs = msg
@@ -284,12 +321,22 @@ def _worker_main(conn, shm_name, layout, n_x, n_y, nnz, windex):
                     y_ptr, y_adj, root_x, leaf, task[lo:hi], chunk,
                     out_y, out_x, out_c if want_costs else None, ws,
                 )
+                if recorder is not None:
+                    recorder.record(
+                        "worker_scan", now, time.perf_counter(),
+                        kind="bottomup", items=hi - lo,
+                        claims=claims, edges=edges,
+                    )
                 conn.send(("ok", claims, edges, 0))
             else:
                 conn.send(("error", f"unknown command {cmd!r}", 0, 0))
+            if recorder is not None:
+                ready = time.perf_counter()
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         pass  # master went away or interrupted: exit quietly
     finally:
+        if recorder is not None:
+            recorder.close()
         # Release every view before closing the mapping (BufferError else).
         arrays = None
         x_ptr = x_adj = y_ptr = y_adj = None
@@ -330,6 +377,12 @@ class ProcPool:
             raise ReproError(f"worker count must be >= 1, got {workers}")
         self.graph = graph
         self.workers = workers
+        self.telemetry = NULL_TELEMETRY
+        """Master-side telemetry for superstep/barrier instrumentation;
+        assigned (and reset) by :func:`run_mp` around each run so an
+        injected, reused pool never keeps a stale session."""
+        self._superstep = 0
+        self._trace_paths: list | None = None
         self._closed = False
         self._procs: list = []
         self._conns: list = []
@@ -432,30 +485,103 @@ class ProcPool:
         except Exception:
             pass  # interpreter shutdown: never raise from a finalizer
 
-    # -- barrier-delimited supersteps ------------------------------------ #
+    # -- worker tracing --------------------------------------------------- #
 
-    def _scatter_gather(self, messages):
-        """Send one descriptor per worker; the full reply set is the
-        barrier. A dead worker (closed pipe) raises :class:`WorkerCrashed`,
-        which the service layer treats as transient and degrades on."""
+    def start_worker_tracing(self, trace_dir) -> list:
+        """Tell every worker to start span recording; returns the paths.
+
+        Each worker gets a private JSONL file under ``trace_dir`` (no
+        cross-process writer contention). The acknowledgement round-trip
+        makes the start a barrier, so no scan span can predate its lane.
+        """
         if self._closed:
             raise ReproError("ProcPool is closed")
+        paths = [
+            os.path.join(str(trace_dir), f"worker-{w}.jsonl")
+            for w in range(self.workers)
+        ]
+        self._control_roundtrip(
+            [("trace_start", path) for path in paths], tolerant=False
+        )
+        self._trace_paths = paths
+        return paths
+
+    def stop_worker_tracing(self) -> list:
+        """Stop recording and return the trace paths (ack = all flushed).
+
+        Tolerates dead workers: a crashed worker cannot ack, but its file
+        holds every span it flushed before dying, so the caller can still
+        merge the survivors' lanes.
+        """
+        paths = self._trace_paths or []
+        self._trace_paths = None
+        if paths and not self._closed:
+            self._control_roundtrip(
+                [("trace_stop",)] * self.workers, tolerant=True
+            )
+        return paths
+
+    def _control_roundtrip(self, messages, *, tolerant: bool) -> None:
+        """Send one control message per worker and collect the acks."""
         for conn, message in zip(self._conns, messages):
             try:
                 conn.send(message)
             except (BrokenPipeError, OSError) as exc:
-                raise WorkerCrashed(f"mp worker pipe closed mid-send: {exc}") from exc
-        replies = []
+                if not tolerant:
+                    raise WorkerCrashed(
+                        f"mp worker pipe closed mid-send: {exc}"
+                    ) from exc
         for w, conn in enumerate(self._conns):
             try:
-                reply = conn.recv()
+                conn.recv()
             except (EOFError, BrokenPipeError, OSError) as exc:
-                raise WorkerCrashed(
-                    f"mp worker {w} (pid {self._procs[w].pid}) died mid-superstep"
-                ) from exc
-            if reply[0] != "ok":
-                raise ReproError(f"mp worker {w} protocol error: {reply[1]}")
-            replies.append(reply[1:])
+                if not tolerant:
+                    raise WorkerCrashed(
+                        f"mp worker {w} (pid {self._procs[w].pid}) died during "
+                        f"trace control"
+                    ) from exc
+
+    # -- barrier-delimited supersteps ------------------------------------ #
+
+    def _scatter_gather(self, messages, kind: str = "scan", items: int = 0):
+        """Send one descriptor per worker; the full reply set is the
+        barrier. A dead worker (closed pipe) raises :class:`WorkerCrashed`,
+        which the service layer treats as transient and degrades on.
+
+        When :attr:`telemetry` is live, each call opens a ``superstep``
+        span with a ``barrier_wait`` child timing the reply gather — the
+        per-superstep barrier cost the paper's scalability analysis is
+        about. With :data:`NULL_TELEMETRY` both hooks return a shared
+        no-op context, so the disabled path allocates nothing.
+        """
+        if self._closed:
+            raise ReproError("ProcPool is closed")
+        tel = self.telemetry
+        step = self._superstep
+        self._superstep += 1
+        with tel.superstep_span(kind, items, step):
+            for conn, message in zip(self._conns, messages):
+                try:
+                    conn.send(message)
+                except (BrokenPipeError, OSError) as exc:
+                    raise WorkerCrashed(
+                        f"mp worker pipe closed mid-send: {exc}"
+                    ) from exc
+            replies = []
+            with tel.barrier_wait(kind):
+                for w, conn in enumerate(self._conns):
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, BrokenPipeError, OSError) as exc:
+                        raise WorkerCrashed(
+                            f"mp worker {w} (pid {self._procs[w].pid}) died "
+                            f"mid-superstep"
+                        ) from exc
+                    if reply[0] != "ok":
+                        raise ReproError(
+                            f"mp worker {w} protocol error: {reply[1]}"
+                        )
+                    replies.append(reply[1:])
         return replies
 
     def topdown_superstep(self, frontier: np.ndarray):
@@ -473,7 +599,8 @@ class ProcPool:
         commit_task(self.task, frontier)
         bounds = _chunk_bounds(int(frontier.shape[0]), self.workers)
         replies = self._scatter_gather(
-            [("topdown", lo, hi) for lo, hi in bounds]
+            [("topdown", lo, hi) for lo, hi in bounds],
+            kind="topdown", items=int(frontier.shape[0]),
         )
         edges = sum(r[1] for r in replies)
         attempts = sum(r[2] for r in replies)
@@ -500,7 +627,8 @@ class ProcPool:
         commit_task(self.task, rows)
         bounds = _chunk_bounds(int(rows.shape[0]), self.workers)
         replies = self._scatter_gather(
-            [("bottomup", lo, hi, int(chunk), bool(want_costs)) for lo, hi in bounds]
+            [("bottomup", lo, hi, int(chunk), bool(want_costs)) for lo, hi in bounds],
+            kind="bottomup", items=int(rows.shape[0]),
         )
         edges = sum(r[1] for r in replies)
         parts_y = [self._out_y[w][: replies[w][0]] for w in range(self.workers)]
@@ -575,6 +703,26 @@ def _run_mp(
     ):
         raise ReproError("injected ProcPool was built for a different graph")
     state = ForestState.for_graph(graph)
+    # Master-side superstep/barrier instrumentation + worker-lane tracing.
+    # Both are scoped to this run and reset in the finally, so an injected
+    # pool reused across runs never carries a stale telemetry session.
+    pool.telemetry = tel
+    pool._superstep = 0  # per-run numbering, also on injected reused pools
+    trace_tmp = None
+    worker_trace_paths: list = []
+    if tel.enabled:
+        trace_tmp = tempfile.TemporaryDirectory(prefix="repro-mp-trace-")
+        worker_trace_paths = pool.start_worker_tracing(trace_tmp.name)
+    # The flight recorder exists only when a dump destination is
+    # configured: a bounded ring of per-level events, written out as
+    # post-mortem JSONL if a worker dies or the deadline expires.
+    flight = FlightRecorder() if options.flight_dir is not None else None
+    if flight is not None:
+        flight.record(
+            "run_start", engine="mp", workers=pool.workers,
+            n_x=graph.n_x, n_y=graph.n_y, nnz=graph.nnz,
+            segment=pool.segment_name, pids=pool.worker_pids(),
+        )
     try:
         with tel.step("setup"):
             matching = init_matching(graph, initial)
@@ -662,7 +810,17 @@ def _run_mp(
                     frontier_log.record(int(frontier.size))
                 tel.observe_frontier(int(frontier.size))
                 counters.bfs_levels += 1
-                if prefer_top_down(frontier):
+                top_down = prefer_top_down(frontier)
+                if flight is not None:
+                    flight.record(
+                        "level",
+                        phase=counters.phases,
+                        level=counters.bfs_levels,
+                        direction="topdown" if top_down else "bottomup",
+                        frontier=int(frontier.size),
+                        unvisited_y=int(state.num_unvisited_y),
+                    )
+                if top_down:
                     counters.topdown_steps += 1
                     with timer.step("topdown"), tel.step("topdown"):
                         stats = run_topdown(frontier)
@@ -695,6 +853,13 @@ def _run_mp(
             with timer.step("augment"), tel.step("augment"):
                 roots, lengths = kernels.augment_all(state, matching)
             counters.record_paths(lengths)
+            if flight is not None:
+                flight.record(
+                    "augment",
+                    phase=counters.phases,
+                    paths=int(lengths.size),
+                    matched=int(matching.cardinality),
+                )
             if trace is not None and lengths.size:
                 trace.add(
                     "augment",
@@ -737,6 +902,12 @@ def _run_mp(
                 state.check_invariants(graph, matching)
 
         tel.finish_run(counters)
+        if worker_trace_paths:
+            # Drain the per-worker span files into the master tracer so the
+            # Chrome export shows one lane per worker pid next to the
+            # master's superstep spans (same CLOCK_MONOTONIC time base).
+            pool.stop_worker_tracing()
+            merge_worker_traces(tel.tracer, worker_trace_paths)
         return MatchResult(
             matching=matching,
             algorithm=options.algorithm_name,
@@ -746,7 +917,30 @@ def _run_mp(
             frontier_log=frontier_log,
             wall_seconds=time.perf_counter() - start,
         )
+    except (WorkerCrashed, DeadlineExceeded) as exc:
+        if flight is not None:
+            flight.record(
+                "crash",
+                error=str(exc),
+                error_type=type(exc).__name__,
+                workers=pool.workers,
+                pids=pool.worker_pids(),
+                segment=pool.segment_name,
+            )
+            flight.dump_to_dir(
+                options.flight_dir, "mp",
+                reason=type(exc).__name__,
+                context={"engine": "mp", "algorithm": options.algorithm_name},
+            )
+        raise
     finally:
+        # Stop worker recorders even on the failure path (tolerant: dead
+        # workers are skipped) and drop the run-scoped telemetry session so
+        # an injected, reused pool never records into a stale tracer.
+        pool.stop_worker_tracing()
+        pool.telemetry = NULL_TELEMETRY
+        if trace_tmp is not None:
+            trace_tmp.cleanup()
         # Detach the state from the segment before the pool unlinks it —
         # a caller holding the state (tests, invariant checks) must never
         # see views of freed memory.

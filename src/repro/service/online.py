@@ -20,8 +20,19 @@ The daemon degrades the same way the batch executor does:
   client, which retries ``transient`` errors under a
   :class:`~repro.service.retry.RetryPolicy`;
 * SLO metrics flow through the shared telemetry layer
-  (``repro_online_*`` counters, the repair-latency histogram whose p99
-  the ``stats`` command reports, and the session-eviction counter).
+  (``repro_online_*`` counters, the repair-latency histogram whose
+  p50/p99 the ``stats`` and ``metrics`` commands report, and the
+  session-eviction counter).
+
+Observability (``docs/observability.md``): every request gets a
+monotonically increasing request id ``rid`` that is carried through the
+``request`` span into the nested ``repair`` span, a ``metrics`` RPC
+returns the Prometheus text exposition over the wire, and
+``metrics_port`` additionally serves it over plain HTTP ``GET /metrics``
+for scrapers that do not speak the line protocol. When ``flight_dir``
+is set the daemon keeps a :class:`~repro.telemetry.flight.FlightRecorder`
+ring of recent requests and dumps it as post-mortem JSONL whenever a
+request fails — the failing request is the last line of the dump.
 
 ``repro-match serve`` is the CLI front end; ``repro-match client`` drives
 a scripted session against it (the CI ``online-smoke`` job does exactly
@@ -30,12 +41,14 @@ that).
 
 from __future__ import annotations
 
+import itertools
 import os
 import socket
 import socketserver
 import threading
 import time
 from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
@@ -45,6 +58,7 @@ from repro.matching.verify import verify_maximum
 from repro.service import protocol
 from repro.service.retry import RetryPolicy
 from repro.service.sessions import SessionManager
+from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.rng import as_rng
 
@@ -59,6 +73,17 @@ class OnlineConfig:
     cache_dir: Optional[Union[str, Path]] = None
     max_pairs: int = 1000
     """Cap on matched pairs returned by ``match`` with ``pairs: true``."""
+    metrics_port: Optional[int] = None
+    """TCP port for the HTTP ``GET /metrics`` endpoint (Prometheus text).
+
+    ``None`` disables the endpoint; ``0`` binds an ephemeral port (tests) —
+    the bound port is published as :attr:`MatchingDaemon.metrics_port`
+    once the daemon is serving."""
+    flight_dir: Optional[Union[str, Path]] = None
+    """Directory for flight-recorder dumps on failed requests; ``None``
+    disables the recorder entirely."""
+    flight_capacity: int = DEFAULT_CAPACITY
+    """Ring size of the request flight recorder."""
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -67,6 +92,37 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """``GET /metrics`` → the daemon's Prometheus text exposition.
+
+    Deliberately tiny: scrape-only, no other routes, loopback-bound. The
+    line protocol's ``metrics`` command returns the same text for clients
+    already on the socket; this endpoint exists for scrapers that only
+    speak HTTP.
+    """
+
+    server_version = "repro-match"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.server.daemon_ref.prometheus_exposition().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
+        return  # scrapes are high-frequency noise; the daemon stays quiet
+
+
+class _MetricsServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
@@ -100,6 +156,15 @@ class MatchingDaemon:
         self.requests_served = 0
         self._server: Optional[_Server] = None
         self._shutdown = threading.Event()
+        self._rid = itertools.count(1)
+        self.flight = (
+            FlightRecorder(config.flight_capacity, wall=wall)
+            if config.flight_dir is not None
+            else None
+        )
+        self._metrics_server: Optional[_MetricsServer] = None
+        self.metrics_port: Optional[int] = None
+        """The bound metrics port once serving (resolves ``port=0``)."""
 
     # ------------------------------------------------------------------ #
     # serving
@@ -112,12 +177,30 @@ class MatchingDaemon:
         parent.mkdir(parents=True, exist_ok=True)
         if Path(path).exists():
             Path(path).unlink()
+        # The metrics endpoint binds before the Unix socket appears, so a
+        # caller that has seen the socket can rely on ``metrics_port``.
+        if self.config.metrics_port is not None:
+            self._metrics_server = _MetricsServer(
+                ("127.0.0.1", int(self.config.metrics_port)), _MetricsHandler
+            )
+            self._metrics_server.daemon_ref = self
+            self.metrics_port = self._metrics_server.server_address[1]
+            threading.Thread(
+                target=self._metrics_server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            ).start()
         self._server = _Server(path, _Handler)
         self._server.daemon_ref = self
         try:
             self._server.serve_forever(poll_interval=0.05)
         finally:
             self._server.server_close()
+            if self._metrics_server is not None:
+                self._metrics_server.shutdown()
+                self._metrics_server.server_close()
+                self._metrics_server = None
+                self.metrics_port = None
             try:
                 os.unlink(path)
             except OSError:
@@ -166,20 +249,48 @@ class MatchingDaemon:
                 return
 
     def handle_line(self, line: str) -> Dict[str, Any]:
-        """Decode, dispatch, and classify one request (pure; testable)."""
+        """Decode, dispatch, and classify one request (pure; testable).
+
+        Every request is stamped with a server-side request id ``rid``
+        that flows into the ``request``/``repair`` spans and the flight
+        recorder, tying a trace lane, a metrics increment, and a flight
+        event back to one wire request.
+        """
         req_id = 0
         cmd = "?"
+        rid = next(self._rid)
         try:
             request = protocol.Request.from_line(line)
             req_id, cmd = request.id, request.cmd
-            result = self._dispatch(request)
+            with self.telemetry.request_span(cmd, rid, session=request.session):
+                result = self._dispatch(request, rid)
             self.telemetry.count_request(cmd, "ok")
             self.requests_served += 1
+            if self.flight is not None:
+                self.flight.record(
+                    "request", rid=rid, cmd=cmd, session=request.session,
+                    status="ok",
+                )
             return protocol.ok_response(req_id, result)
         except Exception as exc:  # noqa: BLE001 - mapped onto the taxonomy
             response = protocol.error_response(req_id, exc)
             self.telemetry.count_request(cmd, response["error"]["kind"])
             self.requests_served += 1
+            if self.flight is not None:
+                # The failing request is recorded last, then the whole ring
+                # is dumped — so the dump's tail is the failure itself.
+                self.flight.record(
+                    "request_error", rid=rid, cmd=cmd,
+                    error_kind=response["error"]["kind"],
+                    error_type=response["error"]["type"],
+                    error=response["error"]["message"],
+                )
+                self.flight.dump_to_dir(
+                    self.config.flight_dir, f"online-req{rid}",
+                    reason=response["error"]["type"],
+                    context={"rid": rid, "cmd": cmd,
+                             "kind": response["error"]["kind"]},
+                )
             return response
 
     def _deadline(self, payload: Mapping[str, Any]) -> Optional[Deadline]:
@@ -194,18 +305,18 @@ class MatchingDaemon:
     # command handlers
     # ------------------------------------------------------------------ #
 
-    def _dispatch(self, request: protocol.Request) -> Dict[str, Any]:
+    def _dispatch(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         handler = getattr(self, f"_cmd_{request.cmd}")
-        return handler(request)
+        return handler(request, rid)
 
-    def _cmd_ping(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_ping(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         return {
             "pong": True,
             "protocol": protocol.PROTOCOL_VERSION,
             "uptime_seconds": round(self._clock() - self._started, 6),
         }
 
-    def _cmd_create(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_create(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         payload = request.payload
         try:
             n_x = int(payload["n_x"])
@@ -218,7 +329,7 @@ class MatchingDaemon:
         )
         return session.describe()
 
-    def _cmd_load(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_load(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         key = request.payload.get("key")
         if not isinstance(key, str) or not key:
             raise ServiceError("load needs a string 'key' (from snapshot)")
@@ -227,7 +338,7 @@ class MatchingDaemon:
         )
         return session.describe()
 
-    def _cmd_update(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_update(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         session = self.sessions.get(request.session)
         payload = request.payload
         updates = [
@@ -240,15 +351,27 @@ class MatchingDaemon:
         deadline = self._deadline(payload)
         started = self._clock()
         try:
-            stats = session.matcher.apply_batch(updates, deadline=deadline)
+            with self.telemetry.repair_span(session.name, rid):
+                stats = session.matcher.apply_batch(updates, deadline=deadline)
         finally:
             elapsed = self._clock() - started
             self.telemetry.observe_repair(elapsed)
         self.telemetry.count_updates(stats.inserted + stats.deleted)
+        self.telemetry.count_session_updates(
+            session.name, stats.inserted + stats.deleted
+        )
+        self.telemetry.count_repair_sweeps(stats.bfs_rounds)
         session.record_batch(stats, elapsed)
+        if self.flight is not None:
+            self.flight.record(
+                "repair", rid=rid, session=session.name,
+                inserted=stats.inserted, deleted=stats.deleted,
+                augmented=stats.augmented, bfs_rounds=stats.bfs_rounds,
+                repair_seconds=round(elapsed, 6),
+            )
         return {"repair_seconds": round(elapsed, 6), **stats.to_dict()}
 
-    def _cmd_match(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_match(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         session = self.sessions.get(request.session)
         matcher = session.matcher
         result: Dict[str, Any] = {
@@ -266,7 +389,7 @@ class MatchingDaemon:
             result["pairs_truncated"] = len(pairs) > self.config.max_pairs
         return result
 
-    def _cmd_stats(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_stats(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         if request.session:
             return self.sessions.get(request.session).describe()
         uptime = self._clock() - self._started
@@ -284,7 +407,10 @@ class MatchingDaemon:
                 hist = metrics.get("repro_online_repair_seconds")
             except Exception:  # noqa: BLE001 - no repairs observed yet
                 hist = None
-            if hist is not None:
+            if hist is not None and hist.count:
+                # Guarded on count: an empty histogram's quantile is NaN,
+                # which is not valid JSON on the wire.
+                result["repair_p50_seconds"] = round(hist.quantile(0.50), 6)
                 result["repair_p99_seconds"] = round(hist.quantile(0.99), 6)
                 result["repairs_observed"] = hist.count
             try:
@@ -297,17 +423,50 @@ class MatchingDaemon:
             )
         return result
 
-    def _cmd_snapshot(self, request: protocol.Request) -> Dict[str, Any]:
+    def prometheus_exposition(self) -> str:
+        """The daemon's metrics as Prometheus text (RPC + HTTP endpoint).
+
+        Refreshes the derived gauges (resident sessions, snapshot-store
+        bytes) right before rendering, so a scrape never reports a stale
+        resource footprint. Empty when telemetry is disabled.
+        """
+        if not self.telemetry.enabled:
+            return ""
+        from repro.telemetry.exporters import prometheus_text
+
+        self.telemetry.set_sessions(len(self.sessions))
+        if self.sessions.cache is not None:
+            self.telemetry.set_snapshot_bytes(self.sessions.cache.total_bytes)
+        return prometheus_text(self.telemetry.metrics)
+
+    def _cmd_metrics(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
+        result: Dict[str, Any] = {
+            "enabled": self.telemetry.enabled,
+            "prometheus": self.prometheus_exposition(),
+        }
+        if self.telemetry.enabled:
+            try:
+                hist = self.telemetry.metrics.get("repro_online_repair_seconds")
+            except Exception:  # noqa: BLE001 - no repairs observed yet
+                hist = None
+            if hist is not None and hist.count:
+                result["repair_p50_seconds"] = round(hist.quantile(0.50), 6)
+                result["repair_p99_seconds"] = round(hist.quantile(0.99), 6)
+        return result
+
+    def _cmd_snapshot(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         key = self.sessions.snapshot(request.session)
+        if self.sessions.cache is not None:
+            self.telemetry.set_snapshot_bytes(self.sessions.cache.total_bytes)
         return {"session": request.session, "key": key}
 
-    def _cmd_close(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_close(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         return {
             "session": request.session,
             "closed": self.sessions.close(request.session),
         }
 
-    def _cmd_shutdown(self, request: protocol.Request) -> Dict[str, Any]:
+    def _cmd_shutdown(self, request: protocol.Request, rid: int) -> Dict[str, Any]:
         self.shutdown()
         return {"stopping": True, "requests_served": self.requests_served + 1}
 
@@ -421,6 +580,9 @@ class OnlineClient:
 
     def stats(self, session: Optional[str] = None) -> Dict[str, Any]:
         return self.request("stats", session)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
 
     def snapshot(self, session: str) -> Dict[str, Any]:
         return self.request("snapshot", session)

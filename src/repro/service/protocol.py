@@ -35,7 +35,7 @@ from repro.service.retry import classify_failure
 
 COMMANDS = (
     "ping", "create", "load", "update", "match", "stats",
-    "snapshot", "close", "shutdown",
+    "metrics", "snapshot", "close", "shutdown",
 )
 """Every command the daemon understands, in docs/service.md table order."""
 

@@ -10,7 +10,11 @@ The observability layer of the reproduction (see ``docs/observability.md``):
   Prometheus text exposition (+ lint), and a JSONL stream that composes
   with the service :class:`~repro.service.events.EventLog`;
 * :mod:`repro.telemetry.session` — the :class:`Telemetry` bundle the
-  driver, batch executor, and CLI accept, plus :data:`NULL_TELEMETRY`.
+  driver, batch executor, and CLI accept, plus :data:`NULL_TELEMETRY`;
+* :mod:`repro.telemetry.worker` — per-process span recorder for mp
+  workers and the master-side merge into one multi-pid trace;
+* :mod:`repro.telemetry.flight` — the bounded crash flight recorder the
+  mp master and online daemon dump on failures.
 """
 
 from repro.telemetry.exporters import (
@@ -22,7 +26,9 @@ from repro.telemetry.exporters import (
     write_prometheus,
     write_telemetry_jsonl,
 )
+from repro.telemetry.flight import FlightRecorder, read_flight_dump
 from repro.telemetry.metrics import (
+    BARRIER_WAIT_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
     FRONTIER_BUCKETS,
     PATH_LENGTH_BUCKETS,
@@ -33,6 +39,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.session import ENGINE_STEPS, NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.worker import WorkerRecorder, merge_worker_traces
 
 __all__ = [
     "Span",
@@ -45,6 +52,11 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "ENGINE_STEPS",
+    "FlightRecorder",
+    "read_flight_dump",
+    "WorkerRecorder",
+    "merge_worker_traces",
+    "BARRIER_WAIT_BUCKETS",
     "DEFAULT_SECONDS_BUCKETS",
     "FRONTIER_BUCKETS",
     "PATH_LENGTH_BUCKETS",

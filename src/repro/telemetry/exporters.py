@@ -19,6 +19,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -51,6 +52,12 @@ _STEP_CATEGORIES = {
     "batch": "service",
     "job": "service",
     "attempt": "service",
+    "superstep": "mp",
+    "barrier_wait": "mp",
+    "worker_scan": "mp",
+    "worker_idle": "mp",
+    "request": "online",
+    "repair": "online",
 }
 
 
@@ -60,18 +67,27 @@ def chrome_trace(
     """Serialise a tracer's spans as a Chrome ``traceEvents`` document.
 
     Open spans are skipped (a trace is exported after the run finishes).
-    Thread ids are compacted to small integers in first-seen order, with
-    ``thread_name`` metadata so Perfetto labels the rows.
+    Spans recorded in this process render under pid 0 ("repro-match");
+    spans merged from mp workers (``Span.pid`` set) each get their real
+    pid as its own process lane with ``process_name`` metadata, so a
+    merged mp trace shows one row group per worker next to the master.
+    Thread ids are compacted to small integers per pid in first-seen
+    order, with ``thread_name`` metadata so Perfetto labels the rows.
     """
     spans = [s for s in tracer.spans if not s.open]
     origin = min((s.start for s in spans), default=0.0)
-    tids: Dict[int, int] = {}
+    tids: Dict[tuple, int] = {}
     events: List[Dict[str, Any]] = [
         {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
          "args": {"name": "repro-match"}},
     ]
+    worker_pids: List[int] = []
     for span in spans:
-        tid = tids.setdefault(span.thread, len(tids))
+        pid = span.pid if span.pid is not None else 0
+        if pid and pid not in worker_pids:
+            worker_pids.append(pid)
+        per_pid = sum(1 for key in tids if key[0] == pid)
+        tid = tids.setdefault((pid, span.thread), per_pid)
         args = {k: _json_safe(v) for k, v in span.attributes.items()}
         args["span_id"] = span.span_id
         if span.parent_id is not None:
@@ -83,14 +99,23 @@ def chrome_trace(
                 "cat": _STEP_CATEGORIES.get(span.name, "repro"),
                 "ts": round((span.start - origin) * 1e6, 3),
                 "dur": round(span.duration * 1e6, 3),
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "args": args,
             }
         )
-    for ident, tid in tids.items():
+    for index, pid in enumerate(sorted(worker_pids)):
         events.append(
-            {"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+             "args": {"name": f"mp-worker (pid {pid})"}}
+        )
+        events.append(
+            {"ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+             "args": {"sort_index": index + 1}}
+        )
+    for (pid, ident), tid in tids.items():
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
              "args": {"name": f"thread-{tid} (os {ident})"}}
         )
     doc: Dict[str, Any] = {
@@ -98,6 +123,8 @@ def chrome_trace(
         "displayTimeUnit": "ms",
         "otherData": {"exporter": "repro.telemetry", "spans": len(spans)},
     }
+    if worker_pids:
+        doc["otherData"]["worker_pids"] = sorted(worker_pids)
     if metadata:
         doc["otherData"].update({k: _json_safe(v) for k, v in metadata.items()})
     return doc
@@ -118,8 +145,26 @@ def write_chrome_trace(
 
 
 def _json_safe(value: Any) -> Any:
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    """Coerce one attribute/metric value into strict-JSON territory.
+
+    Numpy scalars unwrap to their Python equivalents (``.item()``), since
+    engine code frequently stuffs ``np.int64`` counts into span attributes;
+    non-finite floats become their string spellings (``"inf"``/``"nan"``)
+    because bare ``Infinity``/``NaN`` tokens are not valid JSON and break
+    strict parsers of the exported files. Everything else unknown falls
+    back to ``str()`` (e.g. ``Path``).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
         return value
+    if isinstance(value, float):
+        # float() first: numpy float subclasses repr as "np.float64(nan)".
+        return float(value) if math.isfinite(value) else repr(float(value))
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
     return str(value)
 
 
@@ -357,9 +402,9 @@ def export_jsonl(
                     "labels": dict(inst.labels),
                 }
                 if isinstance(inst, (Counter, Gauge)):
-                    record["value"] = inst.value
+                    record["value"] = _json_safe(inst.value)
                 elif isinstance(inst, Histogram):
-                    record["sum"] = inst.sum
+                    record["sum"] = _json_safe(inst.sum)
                     record["count"] = inst.count
                     record["buckets"] = list(inst.buckets)
                     record["bucket_counts"] = list(inst.bucket_counts)

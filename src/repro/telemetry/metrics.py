@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import TelemetryError
@@ -40,6 +41,14 @@ several orders of magnitude within one run."""
 PATH_LENGTH_BUCKETS = (1, 3, 5, 7, 9, 13, 21, 35, 57, 93)
 """Odd augmenting-path lengths (edges); sub-Fibonacci growth mirrors the
 paper's observation that most paths are short with a long tail."""
+
+BARRIER_WAIT_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.5,
+)
+"""Per-superstep barrier-wait buckets (seconds): one pipe round-trip per
+worker is ~0.1 ms, so the interesting range sits well below the
+latency-style :data:`DEFAULT_SECONDS_BUCKETS`."""
 
 
 def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
@@ -157,17 +166,20 @@ class Histogram(_Instrument):
         """Estimated ``q``-quantile (Prometheus ``histogram_quantile`` rule).
 
         Linear interpolation within the bucket that crosses rank
-        ``q * count``; observations in the +Inf bucket clamp to the highest
-        finite bound (the standard conservative convention). Returns 0.0
-        for an empty histogram. Used by the online daemon's ``stats``
-        command for p99 repair latency.
+        ``q * count``. Edge cases follow Prometheus: an empty histogram has
+        no quantiles (``nan``, like ``histogram_quantile`` over an empty
+        range vector), and observations that land in the +Inf bucket clamp
+        to the highest finite bound — so a histogram whose every sample
+        overflowed reports that top bound, never inf. Used by the online
+        daemon's ``stats``/``metrics`` commands for repair-latency
+        percentiles.
         """
         if not 0.0 <= q <= 1.0:
             raise TelemetryError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             total = self.count
             if total == 0:
-                return 0.0
+                return math.nan
             rank = q * total
             running = 0
             for i, c in enumerate(self.bucket_counts[:-1]):
@@ -177,10 +189,19 @@ class Histogram(_Instrument):
                     lower = self.buckets[i - 1] if i > 0 else 0.0
                     upper = self.buckets[i]
                     return lower + (upper - lower) * ((rank - prev) / c)
+            # Rank falls in the implicit +Inf bucket (possibly because every
+            # sample did): clamp to the top finite bound.
             return float(self.buckets[-1])
 
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+DEFAULT_MAX_LABEL_SETS = 64
+"""Cap on distinct label sets per family (see
+:class:`MetricsRegistry`). Generous for the fixed vocabularies the engines
+and services use (≤ ~10 label sets per family today) while bounding what a
+label derived from request data — session names in the online daemon —
+can allocate."""
 
 
 class MetricsRegistry:
@@ -188,12 +209,27 @@ class MetricsRegistry:
 
     One registry per run/batch; the exporters serialise it whole. Families
     are keyed by name; instruments by ``(name, labels)``.
+
+    ``max_label_sets`` guards label cardinality: once a family holds that
+    many distinct label sets, further *new* label sets are dropped — the
+    caller still receives a working instrument, but a detached one that is
+    never exported and never retained, so unbounded per-request labels
+    (e.g. one session label per client) cannot grow the registry without
+    limit. The first drop per family warns once through :mod:`warnings`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        if max_label_sets < 1:
+            raise TelemetryError(
+                f"max_label_sets must be >= 1, got {max_label_sets}"
+            )
+        self.max_label_sets = int(max_label_sets)
         self._lock = threading.Lock()
         self._families: Dict[str, Tuple[str, str, Tuple[float, ...]]] = {}
         self._instruments: Dict[Tuple[str, LabelItems], _Instrument] = {}
+        self._family_sizes: Dict[str, int] = {}
+        self.dropped_label_sets: Dict[str, int] = {}
+        """Per-family count of label sets refused by the cardinality cap."""
 
     # ------------------------------------------------------------------ #
     # registration (get-or-create)
@@ -230,7 +266,23 @@ class MetricsRegistry:
                     instrument = Histogram(name, items, buckets)
                 else:
                     instrument = _TYPES[kind](name, items)
-                self._instruments[(name, items)] = instrument
+                if self._family_sizes.get(name, 0) >= self.max_label_sets:
+                    # Warn-and-drop: hand back a detached instrument so the
+                    # call site keeps working, but never retain or export it.
+                    if name not in self.dropped_label_sets:
+                        warnings.warn(
+                            f"metric {name!r} reached the label-cardinality cap "
+                            f"({self.max_label_sets} label sets); further label "
+                            f"sets are dropped from the registry",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                    self.dropped_label_sets[name] = (
+                        self.dropped_label_sets.get(name, 0) + 1
+                    )
+                else:
+                    self._instruments[(name, items)] = instrument
+                    self._family_sizes[name] = self._family_sizes.get(name, 0) + 1
             return instrument
 
     def counter(

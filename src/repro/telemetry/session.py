@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from repro.telemetry.metrics import (
+    BARRIER_WAIT_BUCKETS,
     FRONTIER_BUCKETS,
     PATH_LENGTH_BUCKETS,
     MetricsRegistry,
@@ -111,6 +112,29 @@ class NullTelemetry:
         return None
 
     def set_sessions(self, n: int) -> None:
+        return None
+
+    def superstep_span(self, kind: str, items: int, superstep: int) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def barrier_wait(self, kind: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def request_span(
+        self, cmd: str, rid: int, session: Optional[str] = None
+    ) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def repair_span(self, session: str, rid: int) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def count_repair_sweeps(self, n: int) -> None:
+        return None
+
+    def count_session_updates(self, session: str, n: int) -> None:
+        return None
+
+    def set_snapshot_bytes(self, n: int) -> None:
         return None
 
 
@@ -276,8 +300,78 @@ class Telemetry(NullTelemetry):
         ).inc()
 
     # ------------------------------------------------------------------ #
+    # mp-engine vocabulary (wired through repro.parallel.procpool)
+    # ------------------------------------------------------------------ #
+
+    def superstep_span(self, kind: str, items: int, superstep: int):
+        """Span around one distributed level (scatter → scan → gather)."""
+        self.metrics.counter(
+            "repro_mp_supersteps_total",
+            "Distributed mp supersteps by scan kind",
+            labels={"kind": kind},
+        ).inc()
+        return self.tracer.span(
+            "superstep", kind=kind, items=int(items), superstep=int(superstep)
+        )
+
+    @contextmanager
+    def barrier_wait(self, kind: str) -> Iterator[Span]:
+        """Span + histogram for the master's wait at one superstep barrier.
+
+        Measures the time between the last descriptor send and the last
+        worker reply — the paper's Section IV scalability analysis is
+        exactly about how this grows with worker count, so it gets both a
+        span (visible per superstep in the Chrome trace) and a histogram
+        (aggregated across the run).
+        """
+        span = self.tracer.start_span("barrier_wait", kind=kind)
+        try:
+            yield span
+        finally:
+            if span.open:
+                self.tracer.end_span(span)
+            self.metrics.histogram(
+                "repro_mp_barrier_wait_seconds",
+                "Master wait at the mp superstep barrier (reply gather)",
+                buckets=BARRIER_WAIT_BUCKETS,
+            ).observe(span.duration)
+
+    # ------------------------------------------------------------------ #
     # online-daemon vocabulary (wired through repro.service.online)
     # ------------------------------------------------------------------ #
+
+    def request_span(self, cmd: str, rid: int, session: Optional[str] = None):
+        """Span around one daemon request dispatch, tagged with its rid."""
+        attributes = {"cmd": cmd, "rid": int(rid)}
+        if session:
+            attributes["session"] = session
+        return self.tracer.span("request", **attributes)
+
+    def repair_span(self, session: str, rid: int):
+        """Span around one batched incremental repair (child of request)."""
+        return self.tracer.span("repair", session=session, rid=int(rid))
+
+    def count_repair_sweeps(self, n: int) -> None:
+        if n:
+            self.metrics.counter(
+                "repro_online_repair_sweeps_total",
+                "Multi-source BFS repair sweeps run by update requests",
+            ).inc(int(n))
+
+    def count_session_updates(self, session: str, n: int) -> None:
+        """Per-session update counter (label-cardinality-guarded)."""
+        if n:
+            self.metrics.counter(
+                "repro_online_session_updates_total",
+                "Edge updates absorbed, by session",
+                labels={"session": session},
+            ).inc(int(n))
+
+    def set_snapshot_bytes(self, n: int) -> None:
+        self.metrics.gauge(
+            "repro_online_snapshot_store_bytes",
+            "Bytes held by the snapshot-backing graph cache store",
+        ).set(int(n))
 
     def count_request(self, cmd: str, status: str) -> None:
         """One daemon request finished: ``status`` is ok/error-kind."""

@@ -1,0 +1,138 @@
+"""Per-process span recorder for mp workers, and the master-side merge.
+
+The procpool workers live in their own processes, so they cannot touch
+the master's :class:`~repro.telemetry.spans.Tracer`. Instead, when the
+master starts a traced run it sends each worker a ``trace_start`` command
+carrying a private JSONL path; the worker creates a
+:class:`WorkerRecorder` and appends one line per span — ``worker_scan``
+around each superstep scan, ``worker_idle`` for the time spent blocked on
+the command pipe — flushing every line so a crashed worker still leaves a
+readable prefix. After the run the master collects the files with
+:func:`merge_worker_traces`, which grafts the spans into the live tracer
+with their real pid, giving ``chrome_trace`` one lane per worker process.
+
+Timestamps are raw :func:`time.perf_counter` readings. On Linux that is
+the system-wide ``CLOCK_MONOTONIC``, so worker readings are directly
+comparable with the master tracer's own clock under both fork and spawn
+on the same machine — no offset arithmetic, no wall-clock jumps. Each
+file also carries a wall anchor in its header for alignment with event
+logs.
+
+The recorder only exists while tracing is active: a worker that never
+receives ``trace_start`` holds ``None`` and pays one ``is not None``
+check per command — nothing is allocated on the telemetry-disabled path
+(the overhead bound in ``tests/telemetry/test_overhead.py`` stays
+meaningful for mp).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.exporters import _json_safe
+from repro.telemetry.spans import Tracer
+
+
+class WorkerRecorder:
+    """Appends one JSON line per finished span to a private file."""
+
+    __slots__ = ("pid", "worker", "_fh", "_wall0", "_mono0")
+
+    def __init__(self, path: Union[str, Path], worker: int) -> None:
+        self.pid = os.getpid()
+        self.worker = int(worker)
+        self._mono0 = time.perf_counter()
+        self._wall0 = time.time()
+        self._fh = open(path, "w", encoding="utf-8")
+        header = {
+            "kind": "worker_trace",
+            "pid": self.pid,
+            "worker": self.worker,
+            "wall0": round(self._wall0, 6),
+            "mono0": self._mono0,
+        }
+        self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def record(self, name: str, start: float, end: float, **attrs: Any) -> None:
+        """One finished span; ``start``/``end`` are perf_counter readings."""
+        record: Dict[str, Any] = {"name": name, "start": start, "end": end}
+        if attrs:
+            record["attrs"] = {k: _json_safe(v) for k, v in attrs.items()}
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+
+def read_worker_trace(
+    path: Union[str, Path],
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse one worker trace file into ``(header, span_records)``.
+
+    Tolerant of torn tails (a worker killed mid-write): unparseable lines
+    are skipped, because a crash dump is exactly when the prefix matters.
+    """
+    header: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return None, []
+    with fh:
+        for line in fh:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == "worker_trace":
+                header = record
+            elif "name" in record and "start" in record and "end" in record:
+                spans.append(record)
+    return header, spans
+
+
+def merge_worker_traces(tracer: Tracer, paths) -> int:
+    """Graft worker-recorded spans into ``tracer``; returns spans merged.
+
+    Each worker's spans land with ``pid`` set to the worker's real pid
+    (one Chrome-trace lane per process) and a ``worker`` attribute for
+    the rank. The wall anchor is reconstructed per span from the file
+    header so merged spans align with event logs like native ones.
+    """
+    merged = 0
+    for path in paths:
+        header, records = read_worker_trace(path)
+        if header is None:
+            continue
+        pid = int(header.get("pid", 0))
+        worker = int(header.get("worker", -1))
+        wall0 = float(header.get("wall0", 0.0))
+        mono0 = float(header.get("mono0", 0.0))
+        for record in records:
+            start = float(record["start"])
+            end = float(record["end"])
+            if end < start:
+                continue
+            attributes = dict(record.get("attrs") or {})
+            attributes.setdefault("worker", worker)
+            tracer.record_closed_span(
+                str(record["name"]),
+                start=start,
+                end=end,
+                start_wall=wall0 + (start - mono0),
+                pid=pid,
+                attributes=attributes,
+            )
+            merged += 1
+    return merged

@@ -1,0 +1,201 @@
+"""Cross-process observability of ``engine="mp"``.
+
+Worker-lane tracing (one Chrome-trace pid lane per worker), the
+barrier-wait metric, and the crash flight recorder. The engine contract —
+bit-identical results — is pinned by ``test_procpool.py``; here we pin
+that observing a run neither changes it nor leaks, and that failures
+leave a usable post-mortem artifact.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.core.driver import ms_bfs_graft
+from repro.core.options import Deadline, GraftOptions
+from repro.errors import DeadlineExceeded, WorkerCrashed
+from repro.graph.generators import random_bipartite
+from repro.parallel.procpool import ProcPool, run_mp
+from repro.telemetry import Telemetry, chrome_trace
+from repro.telemetry.flight import read_flight_dump
+from repro.telemetry.session import NULL_TELEMETRY
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(2000, 2000, 8000, seed=11)
+
+
+def traced_run(graph, **kwargs):
+    tel = Telemetry()
+    result = ms_bfs_graft(
+        graph, engine="mp", workers=2, mp_min_level_items=0,
+        telemetry=tel, **kwargs,
+    )
+    return tel, result
+
+
+class TestWorkerLanes:
+    def test_trace_gets_one_lane_per_worker(self, graph):
+        tel, _ = traced_run(graph)
+        pids = {s.pid for s in tel.tracer.spans if s.pid is not None}
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+
+    def test_worker_lanes_tile_scan_and_idle(self, graph):
+        tel, _ = traced_run(graph)
+        names = {s.name for s in tel.tracer.spans if s.pid is not None}
+        assert names == {"worker_scan", "worker_idle"}
+        lanes = tel.tracer.lane_coverage()
+        assert len(lanes) == 2
+        # scan + idle spans tile each lane's window almost completely
+        assert all(cov > 0.8 for cov in lanes.values())
+
+    def test_scan_spans_carry_kind_and_worker(self, graph):
+        tel, _ = traced_run(graph)
+        scans = [s for s in tel.tracer.spans if s.name == "worker_scan"]
+        assert scans
+        assert all(s.attributes["kind"] in ("topdown", "bottomup") for s in scans)
+        assert {s.attributes["worker"] for s in scans} == {0, 1}
+
+    def test_chrome_trace_has_worker_process_lanes(self, graph):
+        tel, _ = traced_run(graph)
+        doc = chrome_trace(tel.tracer)
+        worker_pids = doc["otherData"]["worker_pids"]
+        assert len(worker_pids) == 2
+        event_pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert set(worker_pids) <= event_pids
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert any("mp-worker" in n for n in names)
+
+    def test_merged_coverage_includes_lanes(self, graph):
+        tel, _ = traced_run(graph)
+        assert 0.0 < tel.tracer.merged_coverage() <= tel.tracer.coverage()
+
+    def test_superstep_and_barrier_spans_on_master(self, graph):
+        tel, _ = traced_run(graph)
+        master = [s for s in tel.tracer.spans if s.pid is None]
+        supersteps = [s for s in master if s.name == "superstep"]
+        barriers = [s for s in master if s.name == "barrier_wait"]
+        assert supersteps and len(barriers) == len(supersteps)
+        assert {s.attributes["kind"] for s in supersteps} <= {"topdown", "bottomup"}
+        # supersteps are numbered consecutively from 0
+        seen = sorted(s.attributes["superstep"] for s in supersteps)
+        assert seen == list(range(len(seen)))
+
+    def test_barrier_wait_metric_populated(self, graph):
+        tel, _ = traced_run(graph)
+        hist = tel.metrics.get("repro_mp_barrier_wait_seconds")
+        steps = tel.metrics.get("repro_mp_supersteps_total", {"kind": "topdown"})
+        assert hist.count > 0
+        assert steps.value > 0
+
+    def test_tracing_does_not_change_the_matching(self, graph):
+        tel, traced = traced_run(graph)
+        plain = ms_bfs_graft(graph, engine="mp", workers=2, mp_min_level_items=0)
+        assert traced.matching.cardinality == plain.matching.cardinality
+        assert traced.counters.phases == plain.counters.phases
+
+    def test_disabled_telemetry_starts_no_recorders(self, graph):
+        pool = ProcPool(random_bipartite(200, 200, 800, seed=3), 2)
+        try:
+            run_mp(pool.graph, None, GraftOptions(), min_level_items=0, pool=pool)
+            assert pool.telemetry is NULL_TELEMETRY
+            assert pool._trace_paths is None
+        finally:
+            pool.close()
+
+    def test_injected_pool_telemetry_reset_after_run(self, graph):
+        pool = ProcPool(graph, 2)
+        try:
+            tel = Telemetry()
+            ms_bfs_graft(
+                graph, engine="mp", workers=2, mp_min_level_items=0,
+                telemetry=tel,
+            )
+            # a reused pool must not keep recording into the finished session
+            assert pool.telemetry is NULL_TELEMETRY
+        finally:
+            pool.close()
+
+
+class TestFlightRecorder:
+    def test_no_flight_dir_no_dump_no_files(self, graph, tmp_path):
+        ms_bfs_graft(graph, engine="mp", workers=2, mp_min_level_items=0)
+        assert glob.glob(str(tmp_path / "flight-*.jsonl")) == []
+
+    def test_worker_crash_dumps_ring_with_crash_at_tail(self, graph, tmp_path):
+        pool = ProcPool(graph, 2)
+
+        def kill_one(phase):
+            if phase == 1:
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+
+        opts = GraftOptions(phase_hook=kill_one, flight_dir=str(tmp_path))
+        with pytest.raises(WorkerCrashed):
+            try:
+                run_mp(graph, None, opts, min_level_items=0, pool=pool)
+            finally:
+                pool.close()
+        dumps = glob.glob(str(tmp_path / "flight-mp-*.jsonl"))
+        assert len(dumps) == 1
+        records = read_flight_dump(dumps[0])
+        assert records[0]["kind"] == "flight_dump"
+        assert records[0]["reason"] == "WorkerCrashed"
+        assert records[1]["kind"] == "run_start"
+        assert records[1]["workers"] == 2
+        tail = records[-1]
+        assert tail["kind"] == "crash"
+        assert tail["error_type"] == "WorkerCrashed"
+        assert len(tail["pids"]) == 2
+
+    def test_deadline_expiry_dumps_level_context(self, graph, tmp_path):
+        readings = iter([0.0, 0.0] + [99.0] * 1000)
+        deadline = Deadline(1.0, clock=lambda: next(readings))
+        with pytest.raises(DeadlineExceeded):
+            ms_bfs_graft(
+                graph, engine="mp", workers=2, mp_min_level_items=0,
+                deadline=deadline, flight_dir=str(tmp_path),
+            )
+        records = read_flight_dump(glob.glob(str(tmp_path / "flight-mp-*.jsonl"))[0])
+        assert records[0]["reason"] == "DeadlineExceeded"
+        assert records[-1]["kind"] == "crash"
+
+    def test_successful_run_keeps_ring_in_memory_only(self, graph, tmp_path):
+        result = ms_bfs_graft(
+            graph, engine="mp", workers=2, mp_min_level_items=0,
+            flight_dir=str(tmp_path),
+        )
+        assert result.matching.cardinality > 0
+        # nothing went wrong: the ring is never written out
+        assert glob.glob(str(tmp_path / "flight-*.jsonl")) == []
+
+    def test_level_events_describe_the_trajectory(self, graph, tmp_path):
+        pool = ProcPool(graph, 2)
+
+        def kill_late(phase):
+            if phase == 2:
+                os.kill(pool.worker_pids()[1], signal.SIGKILL)
+
+        opts = GraftOptions(phase_hook=kill_late, flight_dir=str(tmp_path))
+        with pytest.raises(WorkerCrashed):
+            try:
+                run_mp(graph, None, opts, min_level_items=0, pool=pool)
+            finally:
+                pool.close()
+        records = read_flight_dump(glob.glob(str(tmp_path / "flight-mp-*.jsonl"))[0])
+        levels = [r for r in records if r["kind"] == "level"]
+        assert levels
+        assert all(
+            r["direction"] in ("topdown", "bottomup") and r["frontier"] >= 0
+            for r in levels
+        )
+        assert any(r["kind"] == "augment" for r in records)

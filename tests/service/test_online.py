@@ -304,11 +304,11 @@ class TestEndToEnd:
         failures = {"left": 2}
         original = daemon._cmd_ping
 
-        def flaky(request):
+        def flaky(request, rid):
             if failures["left"] > 0:
                 failures["left"] -= 1
                 raise TransientEngineError("injected flake")
-            return original(request)
+            return original(request, rid)
 
         daemon._cmd_ping = flaky
         sleeps = []
@@ -327,7 +327,7 @@ class TestEndToEnd:
     def test_client_gives_up_after_max_attempts(self, daemon):
         original = daemon._cmd_ping
 
-        def always_flaky(request):
+        def always_flaky(request, rid):
             raise TransientEngineError("injected flake")
 
         daemon._cmd_ping = always_flaky

@@ -1,0 +1,187 @@
+"""Observability of the online daemon: request ids, the ``metrics`` RPC,
+the HTTP scrape endpoint, and the request flight recorder."""
+
+from __future__ import annotations
+
+import glob
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.online import MatchingDaemon, OnlineClient, OnlineConfig
+from repro.service.protocol import COMMANDS
+from repro.telemetry import Telemetry, lint_prometheus
+from repro.telemetry.flight import read_flight_dump
+
+
+@pytest.fixture()
+def obs_daemon(tmp_path):
+    """Daemon with every observability surface on: metrics RPC + HTTP
+    endpoint (ephemeral port) + flight recorder."""
+    d = MatchingDaemon(
+        OnlineConfig(
+            socket_path=tmp_path / "d.sock",
+            cache_dir=tmp_path / "cache",
+            metrics_port=0,
+            flight_dir=tmp_path / "flight",
+        ),
+        telemetry=Telemetry(),
+    )
+    thread = d.start_background()
+    yield d
+    d.shutdown()
+    thread.join(timeout=5)
+
+
+def seed_session(daemon, name="orders"):
+    with OnlineClient(daemon.config.socket_path) as client:
+        client.create(name, 30, 30, edges=[(i, i) for i in range(20)])
+        client.update(name, inserts=[(20, 21), (21, 20)])
+    return name
+
+
+class TestRequestIds:
+    def test_rid_flows_request_to_repair_span(self, obs_daemon):
+        seed_session(obs_daemon)
+        tracer = obs_daemon.telemetry.tracer
+        requests = [s for s in tracer.spans if s.name == "request"]
+        repairs = [s for s in tracer.spans if s.name == "repair"]
+        assert requests and repairs
+        update_req = next(s for s in requests if s.attributes["cmd"] == "update")
+        assert repairs[0].attributes["rid"] == update_req.attributes["rid"]
+        assert repairs[0].attributes["session"] == "orders"
+
+    def test_rids_are_unique_and_monotonic(self, obs_daemon):
+        seed_session(obs_daemon)
+        rids = [
+            s.attributes["rid"]
+            for s in obs_daemon.telemetry.tracer.spans
+            if s.name == "request"
+        ]
+        assert rids == sorted(rids)
+        assert len(rids) == len(set(rids))
+
+
+class TestMetricsRPC:
+    def test_metrics_is_a_protocol_command(self):
+        assert "metrics" in COMMANDS
+
+    def test_rpc_returns_lintable_exposition(self, obs_daemon):
+        seed_session(obs_daemon)
+        with OnlineClient(obs_daemon.config.socket_path) as client:
+            result = client.metrics()
+        assert result["enabled"] is True
+        families = set(lint_prometheus(result["prometheus"]))
+        assert {
+            "repro_online_requests_total",
+            "repro_online_repair_seconds",
+            "repro_online_repair_sweeps_total",
+            "repro_online_session_updates_total",
+        } <= families
+        assert result["repair_p99_seconds"] >= result["repair_p50_seconds"] >= 0
+
+    def test_stats_reports_both_quantiles(self, obs_daemon):
+        seed_session(obs_daemon)
+        with OnlineClient(obs_daemon.config.socket_path) as client:
+            stats = client.stats()
+        assert stats["repair_p50_seconds"] <= stats["repair_p99_seconds"]
+        assert stats["repairs_observed"] >= 1
+
+    def test_stats_omits_quantiles_before_first_repair(self, obs_daemon):
+        with OnlineClient(obs_daemon.config.socket_path) as client:
+            stats = client.stats()
+        # NaN is not valid JSON; the daemon must omit, not emit, it
+        assert "repair_p99_seconds" not in stats
+
+    def test_disabled_telemetry_reports_empty(self, tmp_path):
+        d = MatchingDaemon(OnlineConfig(socket_path=tmp_path / "d.sock"))
+        thread = d.start_background()
+        try:
+            with OnlineClient(d.config.socket_path) as client:
+                result = client.metrics()
+            assert result == {"enabled": False, "prometheus": ""}
+        finally:
+            d.shutdown()
+            thread.join(timeout=5)
+
+
+class TestHTTPEndpoint:
+    def scrape(self, daemon, path="/metrics"):
+        url = f"http://127.0.0.1:{daemon.metrics_port}{path}"
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.headers, resp.read().decode("utf-8")
+
+    def test_ephemeral_port_resolved_once_socket_is_up(self, obs_daemon):
+        assert obs_daemon.metrics_port not in (None, 0)
+
+    def test_scrape_lints_clean_and_tracks_traffic(self, obs_daemon):
+        seed_session(obs_daemon)
+        status, headers, body = self.scrape(obs_daemon)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = set(lint_prometheus(body))
+        assert "repro_online_requests_total" in families
+        assert "repro_online_sessions" in families
+
+    def test_snapshot_bytes_gauge_refreshed_on_scrape(self, obs_daemon):
+        name = seed_session(obs_daemon)
+        with OnlineClient(obs_daemon.config.socket_path) as client:
+            client.snapshot(name)
+        _, _, body = self.scrape(obs_daemon)
+        line = next(
+            ln for ln in body.splitlines()
+            if ln.startswith("repro_online_snapshot_store_bytes")
+        )
+        assert float(line.split()[-1]) > 0
+
+    def test_unknown_path_is_404(self, obs_daemon):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            self.scrape(obs_daemon, path="/nope")
+        assert exc_info.value.code == 404
+
+    def test_no_port_no_server(self, tmp_path):
+        d = MatchingDaemon(OnlineConfig(socket_path=tmp_path / "d.sock"))
+        thread = d.start_background()
+        try:
+            assert d.metrics_port is None
+        finally:
+            d.shutdown()
+            thread.join(timeout=5)
+
+
+class TestRequestFlightRecorder:
+    def test_failed_request_dumps_ring_with_failure_at_tail(self, obs_daemon, tmp_path):
+        seed_session(obs_daemon)
+        with OnlineClient(obs_daemon.config.socket_path) as client:
+            with pytest.raises(ServiceError):
+                client.update("no-such-session", inserts=[(0, 0)])
+        dumps = glob.glob(str(tmp_path / "flight" / "flight-online-*.jsonl"))
+        assert len(dumps) == 1
+        records = read_flight_dump(dumps[0])
+        header, tail = records[0], records[-1]
+        assert header["reason"] == "ServiceError"
+        assert header["context"]["cmd"] == "update"
+        assert tail["kind"] == "request_error"
+        assert tail["error_kind"] == "permanent"
+        # the preceding traffic is in the ring: context for the failure
+        assert any(
+            r["kind"] == "request" and r["status"] == "ok" for r in records
+        )
+
+    def test_successful_traffic_writes_nothing(self, obs_daemon, tmp_path):
+        seed_session(obs_daemon)
+        assert glob.glob(str(tmp_path / "flight" / "*.jsonl")) == []
+
+    def test_repair_events_recorded(self, obs_daemon, tmp_path):
+        seed_session(obs_daemon)
+        events = obs_daemon.flight.snapshot()
+        repair = next(e for e in events if e["kind"] == "repair")
+        assert repair["session"] == "orders"
+        assert repair["inserted"] == 2
+        assert repair["bfs_rounds"] >= 1
+
+    def test_no_flight_dir_no_recorder(self, tmp_path):
+        d = MatchingDaemon(OnlineConfig(socket_path=tmp_path / "d.sock"))
+        assert d.flight is None

@@ -175,3 +175,116 @@ class TestJsonlExport:
         assert records[0]["event"] == "batch_started"
         # seq keeps increasing across the re-opened log
         assert [r["seq"] for r in records] == list(range(1, 5))
+
+
+class TestJsonSafe:
+    """The value coercion behind every exporter (`_json_safe`)."""
+
+    def test_numpy_scalars_unwrap(self):
+        import numpy as np
+
+        from repro.telemetry.exporters import _json_safe
+
+        assert _json_safe(np.int64(7)) == 7
+        assert _json_safe(np.float64(2.5)) == 2.5
+        assert isinstance(_json_safe(np.int32(3)), int)
+
+    def test_nonfinite_floats_become_strings(self):
+        import math
+
+        from repro.telemetry.exporters import _json_safe
+
+        assert _json_safe(math.inf) == "inf"
+        assert _json_safe(-math.inf) == "-inf"
+        assert _json_safe(math.nan) == "nan"
+
+    def test_numpy_nonfinite_also_stringified(self):
+        import numpy as np
+
+        from repro.telemetry.exporters import _json_safe
+
+        out = _json_safe(np.float64("nan"))
+        assert out == "nan"
+
+    def test_path_falls_back_to_str(self):
+        from pathlib import Path
+
+        from repro.telemetry.exporters import _json_safe
+
+        out = _json_safe(Path("/tmp/x"))
+        assert isinstance(out, str) and out.endswith("x")
+
+    def test_plain_types_pass_through(self):
+        from repro.telemetry.exporters import _json_safe
+
+        for value in (True, None, "s", 3, 2.5):
+            assert _json_safe(value) is value or _json_safe(value) == value
+
+    def test_jsonl_export_survives_hostile_attributes(self, tmp_path):
+        import math
+
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("run", count=np.int64(5), ratio=math.inf,
+                         where=__import__("pathlib").Path("/tmp")):
+            pass
+        reg = MetricsRegistry()
+        reg.gauge("repro_weird").set(1e308 * 10)  # inf
+        path = tmp_path / "events.jsonl"
+        written = write_telemetry_jsonl(path, tracer, reg)
+        # strict parser: every line must be valid JSON with no NaN/Inf tokens
+        records = [
+            json.loads(line, parse_constant=lambda tok: pytest.fail(tok))
+            for line in path.read_text().splitlines()
+        ]
+        assert written == len(records) == 2
+        span = next(r for r in records if r["event"] == "telemetry_span")
+        assert span["attributes"]["count"] == 5
+        assert span["attributes"]["ratio"] == "inf"
+        metric = next(r for r in records if r["event"] == "telemetry_metric")
+        assert metric["value"] == "inf"
+
+
+class TestDaemonMetricsLint:
+    """The online daemon's metric families pass the prometheus linter."""
+
+    def test_online_vocabulary_lints_clean(self):
+        from repro.telemetry.session import Telemetry
+
+        tel = Telemetry()
+        tel.count_request("update", "ok")
+        tel.count_updates(12)
+        tel.count_session_updates("orders", 12)
+        tel.count_repair_sweeps(3)
+        tel.observe_repair(0.004)
+        tel.set_snapshot_bytes(4096)
+        tel.set_sessions(2)
+        tel.count_eviction()
+        text = prometheus_text(tel.metrics)
+        families = set(lint_prometheus(text))
+        assert {
+            "repro_online_requests_total",
+            "repro_online_updates_total",
+            "repro_online_session_updates_total",
+            "repro_online_repair_sweeps_total",
+            "repro_online_repair_seconds",
+            "repro_online_snapshot_store_bytes",
+            "repro_online_sessions",
+            "repro_online_session_evictions_total",
+        } <= families
+
+    def test_mp_vocabulary_lints_clean(self):
+        from repro.telemetry.session import Telemetry
+
+        tel = Telemetry()
+        with tel.superstep_span("topdown", 4096, 0):
+            pass
+        with tel.barrier_wait("topdown"):
+            pass
+        text = prometheus_text(tel.metrics)
+        families = set(lint_prometheus(text))
+        assert {
+            "repro_mp_supersteps_total",
+            "repro_mp_barrier_wait_seconds",
+        } <= families

@@ -120,3 +120,96 @@ class TestRegistry:
         assert reg.get("frontier") is created
         with pytest.raises(TelemetryError):
             reg.get("never_registered")
+
+
+class TestQuantileEdgeCases:
+    def test_empty_histogram_has_no_quantile(self):
+        import math
+
+        h = MetricsRegistry().histogram("h", buckets=(1, 2))
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.quantile(0.0))
+        assert math.isnan(h.quantile(1.0))
+
+    def test_all_samples_in_overflow_clamp_to_top_bound(self):
+        h = MetricsRegistry().histogram("h", buckets=(0.5, 1.0))
+        for _ in range(10):
+            h.observe(99.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 1.0
+
+    def test_partial_overflow_clamps_only_upper_tail(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(50.0)
+        # p25 interpolates inside the first bucket; p99's rank falls in the
+        # +Inf bucket and clamps to the top finite bound.
+        assert 0.0 < h.quantile(0.25) <= 1.0
+        assert h.quantile(0.99) == 2.0
+
+    def test_out_of_range_q_still_raises(self):
+        h = MetricsRegistry().histogram("h", buckets=(1,))
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)
+
+    def test_interpolation_unchanged_for_populated_histogram(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        # rank 2 sits at the top of the (1, 2] bucket
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+
+class TestLabelCardinalityGuard:
+    def test_distinct_label_sets_capped_per_family(self):
+        import warnings
+
+        reg = MetricsRegistry(max_label_sets=2)
+        a = reg.counter("req_total", labels={"s": "a"})
+        b = reg.counter("req_total", labels={"s": "b"})
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            c = reg.counter("req_total", labels={"s": "c"})
+        assert [str(w.message) for w in caught if w.category is RuntimeWarning]
+        # the overflow instrument still works, but is not registered
+        c.inc(7)
+        assert c.value == 7.0
+        family = next(f for f in reg.families() if f[0] == "req_total")
+        assert len(family[3]) == 2
+        assert reg.dropped_label_sets == {"req_total": 1}
+        assert a is not c and b is not c
+
+    def test_existing_label_sets_unaffected_by_cap(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        a = reg.counter("req_total", labels={"s": "a"})
+        # re-fetching the registered set returns the same instrument, no warn
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = reg.counter("req_total", labels={"s": "a"})
+        assert again is a
+
+    def test_warning_emitted_once_per_family(self):
+        import warnings
+
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("req_total", labels={"s": "a"})
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reg.counter("req_total", labels={"s": "b"})
+            reg.counter("req_total", labels={"s": "c"})
+        runtime = [w for w in caught if w.category is RuntimeWarning]
+        assert len(runtime) == 1
+        assert reg.dropped_label_sets == {"req_total": 2}
+
+    def test_unlabelled_families_never_hit_the_cap(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("a_total")
+        reg.gauge("b")
+        reg.histogram("c", buckets=(1,))
+        assert reg.dropped_label_sets == {}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry(max_label_sets=0)

@@ -1,0 +1,120 @@
+"""WorkerRecorder files, the master-side merge, and lane coverage."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.spans import Tracer
+from repro.telemetry.worker import (
+    WorkerRecorder,
+    merge_worker_traces,
+    read_worker_trace,
+)
+
+
+def write_trace(path, worker=0, spans=()):
+    rec = WorkerRecorder(path, worker)
+    for name, start, end in spans:
+        rec.record(name, start, end)
+    rec.close()
+    return rec
+
+
+class TestRecorderFile:
+    def test_header_carries_pid_and_anchors(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        write_trace(path, worker=3)
+        header, spans = read_worker_trace(path)
+        assert header["pid"] == os.getpid()
+        assert header["worker"] == 3
+        assert "wall0" in header and "mono0" in header
+        assert spans == []
+
+    def test_spans_flushed_per_line(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        rec = WorkerRecorder(path, 0)
+        rec.record("worker_scan", 1.0, 2.0, kind="topdown", items=64)
+        # readable BEFORE close: a killed worker leaves this prefix
+        header, spans = read_worker_trace(path)
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["kind"] == "topdown"
+        rec.close()
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        write_trace(path, spans=[("worker_scan", 1.0, 2.0)])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "worker_scan", "sta')  # killed mid-write
+        header, spans = read_worker_trace(path)
+        assert header is not None
+        assert len(spans) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        header, spans = read_worker_trace(tmp_path / "nope.jsonl")
+        assert header is None and spans == []
+
+
+class TestMerge:
+    def test_merged_spans_carry_pid_and_worker(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        write_trace(path, worker=1, spans=[("worker_scan", 5.0, 6.0)])
+        tracer = Tracer()
+        merged = merge_worker_traces(tracer, [path])
+        assert merged == 1
+        span = tracer.spans[0]
+        assert span.pid == os.getpid()
+        assert span.attributes["worker"] == 1
+        assert span.duration == pytest.approx(1.0)
+
+    def test_negative_duration_records_skipped(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        write_trace(path, spans=[("worker_scan", 6.0, 5.0)])
+        assert merge_worker_traces(Tracer(), [path]) == 0
+
+    def test_wall_anchor_reconstructed_per_span(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        write_trace(path, spans=[("worker_scan", 1.0, 2.0)])
+        header, _ = read_worker_trace(path)
+        tracer = Tracer()
+        merge_worker_traces(tracer, [path])
+        expected = header["wall0"] + (1.0 - header["mono0"])
+        assert tracer.spans[0].start_wall == pytest.approx(expected, abs=1e-3)
+
+
+class TestLaneCoverage:
+    def test_record_closed_span_validates_interval(self):
+        tracer = Tracer()
+        with pytest.raises(TelemetryError):
+            tracer.record_closed_span("x", start=2.0, end=1.0)
+
+    def test_lane_coverage_groups_by_pid(self):
+        tracer = Tracer()
+        tracer.record_closed_span("scan", start=0.0, end=1.0, pid=101)
+        tracer.record_closed_span("idle", start=1.0, end=2.0, pid=101)
+        tracer.record_closed_span("scan", start=0.0, end=1.0, pid=202)
+        tracer.record_closed_span("scan", start=3.0, end=4.0, pid=202)
+        lanes = tracer.lane_coverage()
+        assert lanes[101] == pytest.approx(1.0)  # fully tiled
+        assert lanes[202] == pytest.approx(0.5)  # 2s of a 4s window
+
+    def test_local_spans_do_not_form_lanes(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        assert tracer.lane_coverage() == {}
+
+    def test_merged_coverage_is_min_over_master_and_lanes(self):
+        clock_values = iter([0.0, 0.0, 10.0, 10.0])
+        tracer = Tracer(clock=lambda: next(clock_values), wall=lambda: 0.0)
+        with tracer.span("run"):  # master root 0..10,
+            with tracer.span("phase"):  # fully covered by its one phase
+                pass
+        assert tracer.coverage() == pytest.approx(1.0)
+        # no lanes: merged == plain coverage
+        assert tracer.merged_coverage() == pytest.approx(1.0)
+        # a 75%-covered worker lane caps the merged value
+        tracer.record_closed_span("scan", start=0.0, end=1.0, pid=77)
+        tracer.record_closed_span("scan", start=1.5, end=2.0, pid=77)
+        assert tracer.merged_coverage() == pytest.approx(0.75)
