@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Optional
 
-from repro.core.driver import ms_bfs_graft
+from repro.core.driver import choose_engine, ms_bfs_graft
 from repro.core.options import Deadline
 from repro.errors import BenchmarkError
 from repro.graph.csr import BipartiteCSR
+from repro.graph.reorder import REORDER_CHOICES, apply_plan, plan_reorder
 from repro.matching.base import MatchResult, Matching
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.karp_sipser import karp_sipser
@@ -69,6 +71,9 @@ def run_algorithm(
     workers: int | None = None,
     flight_dir: str | None = None,
     mp_min_level_items: int | None = None,
+    reorder: str = "none",
+    reorder_plan=None,
+    reorder_layout: BipartiteCSR | None = None,
 ) -> MatchResult:
     """Run one registered algorithm, Karp-Sipser-initialised by default
     (as every experiment in the paper is).
@@ -85,6 +90,18 @@ def run_algorithm(
     only to the driver-backed algorithms in :data:`ENGINE_AWARE` — the
     batch service threads its deadlines, fault hooks, and telemetry
     through here.
+
+    ``reorder`` applies a locality-aware vertex relabelling before the
+    run and maps the matching back afterwards. Driver-backed algorithms
+    get it natively (the driver plans, permutes, and inverts); every
+    other algorithm is wrapped generically here — plan, permute graph
+    and initial matching, run, un-permute — so the differential suite
+    can exercise ``reorder -> match -> unpermute`` across the whole
+    registry. ``"auto"`` resolves through the dispatcher's joint
+    ordering decision. ``reorder_plan``/``reorder_layout`` short-circuit
+    the planning step with a precomputed
+    :class:`~repro.graph.reorder.ReorderPlan` and (optionally) its
+    already-permuted CSR — the graph cache's layout entries enter here.
     """
     fn = ALGORITHMS.get(name)
     if fn is None:
@@ -109,6 +126,10 @@ def run_algorithm(
             f"algorithm {name!r} does not run on the MS-BFS-Graft driver; "
             f"{sorted(driver_kwargs)} apply only to {ENGINE_AWARE}"
         )
+    if reorder not in REORDER_CHOICES:
+        raise BenchmarkError(
+            f"unknown reorder {reorder!r}; known: {REORDER_CHOICES}"
+        )
     if initial is None:
         if init == "karp-sipser-parallel":
             initial = suite_initializer(graph, seed=seed)
@@ -116,7 +137,25 @@ def run_algorithm(
             initial = karp_sipser(graph, seed=seed).matching
         elif init != "none":
             raise BenchmarkError(f"unknown initialiser {init!r}")
-    return fn(graph, initial, **driver_kwargs)
+    if name in ENGINE_AWARE:
+        if reorder != "none":
+            driver_kwargs["reorder"] = reorder
+        if reorder_plan is not None:
+            driver_kwargs["reorder_plan"] = reorder_plan
+            if reorder_layout is not None:
+                driver_kwargs["reorder_layout"] = reorder_layout
+        return fn(graph, initial, **driver_kwargs)
+    plan = reorder_plan
+    if plan is None:
+        if reorder == "auto":
+            reorder = choose_engine(graph, reorder="auto").reorder
+        if reorder == "none":
+            return fn(graph, initial)
+        plan = plan_reorder(graph, reorder)
+    run_graph = reorder_layout if reorder_layout is not None else apply_plan(graph, plan)
+    run_initial = plan.permute_matching(initial) if initial is not None else None
+    result = fn(run_graph, run_initial)
+    return replace(result, matching=plan.unpermute_matching(result.matching))
 
 
 def simulated_seconds(

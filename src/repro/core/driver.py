@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.core.engine_interleaved import run_interleaved
@@ -11,14 +12,22 @@ from repro.core.engine_python import run_python
 from repro.core.options import (
     DISPATCH_WORK_THRESHOLD,
     MP_DISPATCH_MIN_WORK,
+    REORDER_MIN_WORK,
     Deadline,
     DispatchDecision,
     GraftOptions,
 )
 from repro.errors import ReproError
 from repro.graph.csr import BipartiteCSR
+from repro.graph.reorder import (
+    REORDER_CHOICES,
+    ReorderPlan,
+    apply_plan,
+    plan_reorder,
+)
 from repro.matching.base import MatchResult, Matching
 from repro.parallel.procpool import DEFAULT_WORKERS, run_mp
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.util.rng import SeedLike
 
 _ENGINES = ("auto", "numpy", "python", "interleaved", "mp")
@@ -37,6 +46,67 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _choose_reorder(
+    graph: BipartiteCSR,
+    reorder: str,
+    work: int,
+    reorder_min_work: int,
+    flight=None,
+) -> tuple[str, str]:
+    """The locality term of the joint dispatch: resolve ``reorder``.
+
+    ``"auto"`` consults the graph-family statistics that
+    :mod:`repro.graph.properties` derives (degree skew): a graph whose work
+    estimate clears :data:`~repro.core.options.REORDER_MIN_WORK` and whose
+    degree distribution is not perfectly regular is relabelled with the
+    ``hubsplit`` strategy — the measured winner on every benchmark family
+    (hub rows pack contiguously; the elimination-ordered tail collapses the
+    repair-phase cascade, see ``docs/performance.md``). When the statistics
+    cannot be computed the decision falls back to ``"none"``
+    deterministically instead of raising, leaving a note on ``flight``
+    (a :class:`repro.telemetry.flight.FlightRecorder`) when one is attached.
+    """
+    if reorder != "auto":
+        return reorder, f"reorder {reorder!r} explicitly requested"
+    if work < reorder_min_work:
+        return "none", (
+            f"work estimate {work} < {reorder_min_work}: below the reorder "
+            f"floor, relabelling cannot pay for the layout lookup"
+        )
+    try:
+        deg_x, deg_y = graph.deg_x, graph.deg_y
+        regular = bool(
+            (deg_x.size == 0 or int(deg_x.max()) == int(deg_x.min()))
+            and (deg_y.size == 0 or int(deg_y.max()) == int(deg_y.min()))
+        )
+        skew = (
+            float(deg_x.max()) / float(deg_x.mean())
+            if deg_x.size and float(deg_x.mean()) > 0
+            else 0.0
+        )
+    except Exception as exc:  # stats-free CSR: degrade, never raise
+        if flight is not None:
+            flight.record(
+                "reorder_fallback",
+                error=f"{type(exc).__name__}: {exc}",
+                chosen="none",
+            )
+        return "none", (
+            f"graph statistics unavailable ({type(exc).__name__}); "
+            f"deterministic fallback to no reordering"
+        )
+    if regular:
+        return "none", (
+            "degree distribution is perfectly regular: relabelling cannot "
+            "change claim collisions, ordering left untouched"
+        )
+    return "hubsplit", (
+        f"work estimate {work} >= {reorder_min_work} with degree skew "
+        f"{skew:.2f}: hub rows pack contiguously and the elimination-ordered "
+        f"tail minimises first-phase claim collisions"
+    )
+
+
 def choose_engine(
     graph: BipartiteCSR,
     *,
@@ -45,6 +115,9 @@ def choose_engine(
     workers: int = 1,
     mp_threshold: int = MP_DISPATCH_MIN_WORK,
     cores: int | None = None,
+    reorder: str = "none",
+    reorder_min_work: int = REORDER_MIN_WORK,
+    flight=None,
 ) -> DispatchDecision:
     """Cost-model backend dispatch: pick the python, numpy, or mp engine.
 
@@ -66,15 +139,31 @@ def choose_engine(
 
     Work traces for the simulated machine only exist on the vectorized
     backend, so ``emit_trace=True`` forces numpy regardless of size.
+
+    ``reorder`` makes the decision joint over ordering *and* backend:
+    ``"auto"`` resolves through the locality term (:func:`_choose_reorder`
+    — work floor, degree-skew statistics, deterministic fallback when the
+    statistics are unavailable), a concrete strategy or ``"none"`` passes
+    through. The outcome lands in the decision's ``reorder`` /
+    ``reorder_reason`` fields.
     """
+    work = int(graph.nnz + graph.n_x + graph.n_y)
+    if reorder not in REORDER_CHOICES:
+        raise ReproError(
+            f"unknown reorder {reorder!r}; expected one of {REORDER_CHOICES}"
+        )
+    chosen_reorder, reorder_reason = _choose_reorder(
+        graph, reorder, work, reorder_min_work, flight
+    )
     if emit_trace:
         return DispatchDecision(
             engine="numpy",
             reason="work trace requested; only the vectorized backend emits traces",
-            work=int(graph.nnz + graph.n_x + graph.n_y),
+            work=work,
             threshold=threshold,
+            reorder=chosen_reorder,
+            reorder_reason=reorder_reason,
         )
-    work = int(graph.nnz + graph.n_x + graph.n_y)
     if work < threshold:
         return DispatchDecision(
             engine="python",
@@ -84,6 +173,8 @@ def choose_engine(
             ),
             work=work,
             threshold=threshold,
+            reorder=chosen_reorder,
+            reorder_reason=reorder_reason,
         )
     if workers >= 2:
         cores = available_cores() if cores is None else int(cores)
@@ -99,6 +190,8 @@ def choose_engine(
                 ),
                 work=work,
                 threshold=threshold,
+                reorder=chosen_reorder,
+                reorder_reason=reorder_reason,
             )
         if effective < 2:
             decline = (
@@ -119,6 +212,8 @@ def choose_engine(
             ),
             work=work,
             threshold=threshold,
+            reorder=chosen_reorder,
+            reorder_reason=reorder_reason,
         )
     return DispatchDecision(
         engine="numpy",
@@ -128,6 +223,8 @@ def choose_engine(
         ),
         work=work,
         threshold=threshold,
+        reorder=chosen_reorder,
+        reorder_reason=reorder_reason,
     )
 
 
@@ -151,6 +248,9 @@ def ms_bfs_graft(
     workers: int | None = None,
     flight_dir: str | None = None,
     mp_min_level_items: int | None = None,
+    reorder: str = "none",
+    reorder_plan: ReorderPlan | None = None,
+    reorder_layout: BipartiteCSR | None = None,
 ) -> MatchResult:
     """Maximum cardinality bipartite matching by MS-BFS with tree grafting.
 
@@ -225,6 +325,25 @@ def ms_bfs_graft(
         fewer work items run on the master; ``0`` forces every level
         through the pool (tests, tracing demos). ``None`` keeps the
         default. The result is identical either way.
+    reorder:
+        Locality-aware relabelling before the run
+        (:mod:`repro.graph.reorder`): ``"none"`` (default), a concrete
+        strategy (``"degree"``, ``"bfs"``, ``"hubsplit"``), or ``"auto"``
+        — resolved jointly with the backend by :func:`choose_engine`'s
+        locality term. The engine runs on the permuted layout; the result
+        matching is mapped back to the original vertex ids before being
+        returned, so verification and all downstream consumers see the
+        caller's numbering. Counters, traces, and frontier logs describe
+        the permuted run.
+    reorder_plan:
+        A precomputed :class:`~repro.graph.reorder.ReorderPlan` (typically
+        from the layout cache). When given, ``reorder`` is ignored and no
+        planning happens here.
+    reorder_layout:
+        The already-permuted graph matching ``reorder_plan`` (a cached
+        layout). When given alongside ``reorder_plan``, the permutation is
+        not re-applied — ``graph`` is then only used for its identity as
+        the original numbering.
 
     Returns
     -------
@@ -245,23 +364,59 @@ def ms_bfs_graft(
         telemetry=telemetry,
         flight_dir=flight_dir,
     )
-    if engine == "auto":
-        engine = choose_engine(
-            graph, emit_trace=emit_trace, workers=workers if workers is not None else 1
-        ).engine
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if reorder not in REORDER_CHOICES:
+        raise ReproError(
+            f"unknown reorder {reorder!r}; expected one of {REORDER_CHOICES}"
+        )
+    strategy = reorder_plan.strategy if reorder_plan is not None else reorder
+    if engine == "auto" or strategy == "auto":
+        decision = choose_engine(
+            graph,
+            emit_trace=emit_trace,
+            workers=workers if workers is not None else 1,
+            reorder=strategy if reorder_plan is None else "none",
+        )
+        if engine == "auto":
+            engine = decision.engine
+        if strategy == "auto":
+            strategy = decision.reorder
+    plan = reorder_plan
+    if plan is None and strategy != "none":
+        with tel.step("reorder_plan"):
+            plan = plan_reorder(graph, strategy)
+        tel.count_reorder_plan(strategy)
+    run_graph, run_initial = graph, initial
+    if plan is not None:
+        if reorder_layout is not None:
+            run_graph = reorder_layout
+        else:
+            with tel.step("reorder_apply"):
+                run_graph = apply_plan(graph, plan)
+        if initial is not None:
+            run_initial = plan.permute_matching(initial)
+        tel.count_reorder_run(plan.strategy)
+
     if engine == "numpy":
-        return run_numpy(graph, initial, options)
-    if engine == "python":
-        return run_python(graph, initial, options)
-    if engine == "interleaved":
-        return run_interleaved(graph, initial, options, threads=threads, seed=seed)
-    if engine == "mp":
+        result = run_numpy(run_graph, run_initial, options)
+    elif engine == "python":
+        result = run_python(run_graph, run_initial, options)
+    elif engine == "interleaved":
+        result = run_interleaved(
+            run_graph, run_initial, options, threads=threads, seed=seed
+        )
+    elif engine == "mp":
         mp_kwargs = {}
         if mp_min_level_items is not None:
             mp_kwargs["min_level_items"] = int(mp_min_level_items)
-        return run_mp(
-            graph, initial, options,
+        result = run_mp(
+            run_graph, run_initial, options,
             workers=max(workers if workers is not None else DEFAULT_WORKERS, 1),
             **mp_kwargs,
         )
-    raise ReproError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    else:
+        raise ReproError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if plan is not None:
+        with tel.step("reorder_invert"):
+            result = replace(result, matching=plan.unpermute_matching(result.matching))
+    return result

@@ -41,20 +41,36 @@ def permute(
     if x_perm is None:
         x_perm = rng.permutation(graph.n_x).astype(INDEX_DTYPE)
     else:
-        x_perm = np.asarray(x_perm, dtype=INDEX_DTYPE)
-        _check_perm(x_perm, graph.n_x, "x_perm")
+        x_perm = _check_perm(np.asarray(x_perm), graph.n_x, "x_perm")
     if y_perm is None:
         y_perm = rng.permutation(graph.n_y).astype(INDEX_DTYPE)
     else:
-        y_perm = np.asarray(y_perm, dtype=INDEX_DTYPE)
-        _check_perm(y_perm, graph.n_y, "y_perm")
+        y_perm = _check_perm(np.asarray(y_perm), graph.n_y, "y_perm")
     xs, ys = graph.edge_arrays()
     new = _from_edge_arrays(graph.n_x, graph.n_y, x_perm[xs], y_perm[ys], validate=False)
     return new, x_perm, y_perm
 
 
-def _check_perm(perm: np.ndarray, n: int, name: str) -> None:
+def _check_perm(perm: np.ndarray, n: int, name: str) -> np.ndarray:
+    """Validate a caller-supplied permutation and return it as INDEX_DTYPE.
+
+    Validation happens *before* any dtype conversion: a float array (which
+    ``astype(int64)`` would silently truncate) or any other non-integer
+    dtype is rejected outright instead of being cast into a coincidentally
+    valid — but wrong — permutation.
+    """
+    if perm.dtype.kind not in ("i", "u"):
+        raise GraphError(
+            f"{name} has dtype {perm.dtype}, expected an integer dtype "
+            f"(got a non-integer array; refusing to cast silently)"
+        )
     if perm.shape != (n,):
         raise GraphError(f"{name} has shape {perm.shape}, expected ({n},)")
+    if perm.size and (perm.min() < 0 or perm.max() >= n):
+        raise GraphError(
+            f"{name} has entries outside 0..{n - 1} "
+            f"(min {perm.min()}, max {perm.max()})"
+        )
     if not np.array_equal(np.sort(perm), np.arange(n)):
         raise GraphError(f"{name} is not a permutation of 0..{n - 1}")
+    return perm.astype(INDEX_DTYPE, copy=False)

@@ -23,6 +23,7 @@ def ms_bfs(
     deadline=None,
     phase_hook=None,
     telemetry=None,
+    reorder: str = "none",
 ) -> MatchResult:
     """Maximum matching by multi-source BFS without tree grafting."""
     # Imported lazily: repro.core depends on repro.matching.base, and a
@@ -41,4 +42,5 @@ def ms_bfs(
         deadline=deadline,
         phase_hook=phase_hook,
         telemetry=telemetry,
+        reorder=reorder,
     )

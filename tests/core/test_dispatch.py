@@ -6,6 +6,7 @@ its decision table rather than timings (timings live in
 ``benchmarks/BENCH_kernels.json``).
 """
 
+import numpy as np
 import pytest
 
 import repro
@@ -13,10 +14,11 @@ from repro.core.driver import available_cores, choose_engine, ms_bfs_graft
 from repro.core.options import (
     DISPATCH_WORK_THRESHOLD,
     MP_DISPATCH_MIN_WORK,
+    REORDER_MIN_WORK,
     DispatchDecision,
 )
 from repro.errors import ReproError
-from repro.graph.generators import chain_graph, random_bipartite
+from repro.graph.generators import chain_graph, power_law_bipartite, random_bipartite
 
 
 @pytest.fixture(scope="module")
@@ -149,3 +151,109 @@ class TestAutoDispatchEndToEnd:
     def test_unknown_engine_rejected(self, small_graph):
         with pytest.raises(ReproError, match="unknown engine"):
             ms_bfs_graft(small_graph, engine="fortran")
+
+
+@pytest.fixture(scope="module")
+def big_skewed():
+    # work well above REORDER_MIN_WORK, strongly skewed degrees.
+    return power_law_bipartite(
+        20_000, 20_000, avg_degree=4.0, exponent=2.0, seed=7
+    )
+
+
+class _StatsFreeGraph:
+    """Proxy that forwards everything but refuses the degree arrays —
+    exercises the dispatcher's deterministic stats-free fallback."""
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    def __getattr__(self, name):
+        if name in ("deg_x", "deg_y"):
+            raise RuntimeError("degree statistics unavailable")
+        return getattr(self._graph, name)
+
+
+class TestJointReorderDispatch:
+    """The locality term: ordering and backend are one decision."""
+
+    def test_default_decision_keeps_original_numbering(self, large_graph):
+        decision = choose_engine(large_graph, emit_trace=False)
+        assert decision.reorder == "none"
+
+    def test_auto_picks_hubsplit_on_big_skewed(self, big_skewed):
+        decision = choose_engine(big_skewed, emit_trace=False, reorder="auto")
+        assert decision.reorder == "hubsplit"
+        assert "degree skew" in decision.reorder_reason
+
+    def test_auto_declines_below_work_floor(self, large_graph):
+        work = large_graph.nnz + large_graph.n_x + large_graph.n_y
+        assert work < REORDER_MIN_WORK
+        decision = choose_engine(large_graph, emit_trace=False, reorder="auto")
+        assert decision.reorder == "none"
+        assert "below the reorder floor" in decision.reorder_reason
+
+    def test_auto_declines_on_regular_degrees(self):
+        # Every x has degree 2, every y has degree 2: relabelling cannot
+        # change the claim-collision structure, so auto must decline even
+        # though the work estimate clears the floor.
+        from repro.graph.builder import from_edges
+
+        n = 20_000
+        x = np.repeat(np.arange(n, dtype=np.int64), 2)
+        y = np.stack(
+            [np.arange(n, dtype=np.int64), (np.arange(n, dtype=np.int64) + 1) % n],
+            axis=1,
+        ).reshape(-1)
+        graph = from_edges(n, n, np.stack([x, y], axis=1))
+        assert graph.nnz + 2 * n >= REORDER_MIN_WORK
+        decision = choose_engine(graph, emit_trace=False, reorder="auto")
+        assert decision.reorder == "none"
+        assert "regular" in decision.reorder_reason
+
+    def test_explicit_strategy_passes_through(self, small_graph):
+        decision = choose_engine(small_graph, emit_trace=False, reorder="bfs")
+        assert decision.reorder == "bfs"
+        assert "explicitly requested" in decision.reorder_reason
+
+    def test_unknown_reorder_rejected(self, small_graph):
+        with pytest.raises(ReproError, match="unknown reorder"):
+            choose_engine(small_graph, emit_trace=False, reorder="metis")
+
+    def test_stats_free_fallback_is_deterministic_and_noted(self, big_skewed):
+        from repro.telemetry.flight import FlightRecorder
+
+        flight = FlightRecorder()
+        proxy = _StatsFreeGraph(big_skewed)
+        decision = choose_engine(
+            proxy, emit_trace=False, reorder="auto", flight=flight
+        )
+        assert decision.reorder == "none"
+        assert "statistics unavailable" in decision.reorder_reason
+        kinds = [event["kind"] for event in flight.snapshot()]
+        assert "reorder_fallback" in kinds
+
+    def test_stats_free_fallback_without_flight(self, big_skewed):
+        # No recorder attached: still degrades, never raises.
+        decision = choose_engine(
+            _StatsFreeGraph(big_skewed), emit_trace=False, reorder="auto"
+        )
+        assert decision.reorder == "none"
+
+    def test_driver_reorder_end_to_end_with_telemetry(self, big_skewed):
+        from repro.telemetry import Telemetry
+
+        plain = ms_bfs_graft(big_skewed, emit_trace=False)
+        tel = Telemetry()
+        reordered = ms_bfs_graft(
+            big_skewed, emit_trace=False, reorder="hubsplit", telemetry=tel
+        )
+        assert reordered.cardinality == plain.cardinality
+        runs = tel.metrics.get(
+            "repro_reorder_runs_total", {"strategy": "hubsplit"}
+        )
+        assert runs is not None and runs.value >= 1.0
+        plans = tel.metrics.get(
+            "repro_reorder_plans_total", {"strategy": "hubsplit"}
+        )
+        assert plans is not None and plans.value >= 1.0

@@ -47,6 +47,19 @@ class TestPermute:
         with pytest.raises(GraphError):
             permute(g, np.zeros(5, dtype=int), np.arange(5))
 
+    def test_float_perm_rejected(self):
+        g = random_bipartite(5, 5, 10, seed=0)
+        with pytest.raises(GraphError, match="integer"):
+            permute(g, np.arange(5, dtype=np.float64), np.arange(5))
+
+    def test_out_of_range_perm_rejected(self):
+        g = random_bipartite(5, 5, 10, seed=0)
+        bad = np.array([0, 1, 2, 3, 7], dtype=np.int64)
+        with pytest.raises(GraphError):
+            permute(g, bad, np.arange(5))
+        with pytest.raises(GraphError):
+            permute(g, np.arange(5), np.array([-1, 1, 2, 3, 4], dtype=np.int64))
+
     @given(st.integers(2, 15), st.integers(2, 15), st.integers(0, 10))
     @settings(max_examples=20, deadline=None)
     def test_matching_number_invariant(self, n_x, n_y, seed):

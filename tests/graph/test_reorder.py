@@ -1,0 +1,150 @@
+"""Reorder plans: validity, determinism, structure, and round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.generators import (
+    power_law_bipartite,
+    random_bipartite,
+    rmat_bipartite,
+)
+from repro.graph.reorder import (
+    HUB_DEGREE_FACTOR,
+    REORDER_CHOICES,
+    REORDER_STRATEGIES,
+    ReorderPlan,
+    apply_plan,
+    hub_mask,
+    plan_reorder,
+    reorder_graph,
+)
+from repro.matching.base import UNMATCHED, Matching
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return power_law_bipartite(200, 200, avg_degree=4.0, exponent=2.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def er():
+    return random_bipartite(150, 130, 600, seed=9)
+
+
+class TestPlanReorder:
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_perms_are_valid(self, skewed, strategy):
+        plan = plan_reorder(skewed, strategy)
+        assert plan.strategy == strategy
+        assert sorted(plan.x_perm.tolist()) == list(range(skewed.n_x))
+        assert sorted(plan.y_perm.tolist()) == list(range(skewed.n_y))
+
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_deterministic(self, er, strategy):
+        a = plan_reorder(er, strategy)
+        b = plan_reorder(er, strategy)
+        assert np.array_equal(a.x_perm, b.x_perm)
+        assert np.array_equal(a.y_perm, b.y_perm)
+
+    @pytest.mark.parametrize("strategy", ("none", "auto", "metis"))
+    def test_dispatch_level_names_rejected(self, er, strategy):
+        with pytest.raises(GraphError, match="unknown reorder strategy"):
+            plan_reorder(er, strategy)
+
+    def test_plan_rejects_unknown_strategy(self):
+        with pytest.raises(GraphError, match="unknown reorder strategy"):
+            ReorderPlan("metis", np.arange(3), np.arange(3))
+
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_empty_graph(self, strategy):
+        g = from_edges(0, 0, np.empty((0, 2), dtype=np.int64))
+        permuted, plan = reorder_graph(g, strategy)
+        assert permuted.n_x == 0 and permuted.nnz == 0
+        assert plan.x_perm.size == 0 and plan.y_perm.size == 0
+
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_edgeless_graph(self, strategy):
+        g = from_edges(4, 6, np.empty((0, 2), dtype=np.int64))
+        permuted, plan = reorder_graph(g, strategy)
+        assert (permuted.n_x, permuted.n_y) == (4, 6)
+        assert sorted(plan.x_perm.tolist()) == list(range(4))
+
+    def test_degree_sorts_descending_per_side(self, skewed):
+        plan = plan_reorder(skewed, "degree")
+        permuted = apply_plan(skewed, plan)
+        assert np.all(np.diff(permuted.deg_x) <= 0)
+        assert np.all(np.diff(permuted.deg_y) <= 0)
+
+    def test_hubsplit_packs_x_hubs_at_back_y_hubs_at_front(self, skewed):
+        plan = plan_reorder(skewed, "hubsplit")
+        permuted = apply_plan(skewed, plan)
+        x_hubs = hub_mask(permuted.deg_x)
+        if x_hubs.any():
+            first_hub = int(np.flatnonzero(x_hubs)[0])
+            assert x_hubs[first_hub:].all(), "X hubs must be contiguous at the back"
+        y_hubs = hub_mask(permuted.deg_y)
+        if y_hubs.any():
+            last_hub = int(np.flatnonzero(y_hubs)[-1])
+            assert y_hubs[: last_hub + 1].all(), "Y hubs must be contiguous at the front"
+
+    def test_hub_mask_threshold(self):
+        deg = np.array([1, 1, 1, 1, 20], dtype=np.int64)
+        mask = hub_mask(deg)
+        assert mask.tolist() == [False, False, False, False, True]
+        assert 20 >= HUB_DEGREE_FACTOR * deg.mean()
+        assert hub_mask(np.empty(0, dtype=np.int64)).size == 0
+
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_structure_preserved(self, er, strategy):
+        permuted, plan = reorder_graph(er, strategy)
+        assert permuted.nnz == er.nnz
+        for x, y in er.edges():
+            assert permuted.has_edge(int(plan.x_perm[x]), int(plan.y_perm[y]))
+
+    def test_choices_cover_strategies(self):
+        assert REORDER_CHOICES[0] == "none" and REORDER_CHOICES[-1] == "auto"
+        assert set(REORDER_STRATEGIES) < set(REORDER_CHOICES)
+
+
+class TestMatchingRoundTrip:
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_permute_then_unpermute_is_identity(self, er, strategy):
+        from repro.matching.karp_sipser import karp_sipser
+
+        plan = plan_reorder(er, strategy)
+        matching = karp_sipser(er, seed=2).matching
+        back = plan.unpermute_matching(plan.permute_matching(matching))
+        assert np.array_equal(back.mate_x, matching.mate_x)
+        assert np.array_equal(back.mate_y, matching.mate_y)
+
+    def test_permuted_matching_satisfies_convention(self, er):
+        # mate_new[x_perm[x]] == y_perm[mate_old[x]] — the permute() contract.
+        from repro.matching.karp_sipser import karp_sipser
+
+        plan = plan_reorder(er, "hubsplit")
+        matching = karp_sipser(er, seed=3).matching
+        permuted = plan.permute_matching(matching)
+        for x in range(er.n_x):
+            y = matching.mate_x[x]
+            if y != UNMATCHED:
+                assert permuted.mate_x[plan.x_perm[x]] == plan.y_perm[y]
+
+    def test_unpermuted_matching_lives_on_original_graph(self, skewed):
+        from repro.core.driver import ms_bfs_graft
+
+        permuted, plan = reorder_graph(skewed, "hubsplit")
+        result = ms_bfs_graft(permuted, emit_trace=False)
+        back = plan.unpermute_matching(result.matching)
+        for x in range(skewed.n_x):
+            y = back.mate_x[x]
+            if y != UNMATCHED:
+                assert skewed.has_edge(x, int(y))
+
+    def test_empty_matching_round_trip(self):
+        g = rmat_bipartite(scale=5, edge_factor=3, seed=1)
+        plan = plan_reorder(g, "bfs")
+        empty = Matching.empty(g)
+        assert plan.permute_matching(empty).cardinality == 0
+        assert plan.unpermute_matching(empty).cardinality == 0

@@ -1,0 +1,90 @@
+"""Reorder metamorphic suite: reorder -> match -> unpermute == direct.
+
+Every reordering strategy, on every algorithm of the differential
+registry, must leave the answer untouched: run the matcher on the
+permuted layout, map the matching back through the inverse permutation,
+and the result must certify as a maximum matching *of the original
+graph* with the direct run's cardinality.
+
+Tier-1 runs a spread subset of the differential catalogue; the full
+200-instance sweep (5 algorithms x 3 strategies) is ``slow``-marked and
+rides the baseline-refresh lane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_algorithm
+from repro.graph.reorder import REORDER_STRATEGIES
+from repro.matching.verify import verify_maximum
+
+from tests.matching.test_differential import CASES
+
+ROUNDTRIP_ALGORITHMS = (
+    "ms-bfs-graft",
+    "ms-bfs",
+    "pothen-fan",
+    "hopcroft-karp",
+    "push-relabel",
+)
+
+# Every ~10th case keeps tier-1 fast while still crossing all families
+# (er square/wide/tall, rmat, skewed, and several handcrafted corners).
+QUICK_CASES = CASES[::10]
+
+
+def _assert_roundtrip(name, builder, algorithm, strategy):
+    graph = builder()
+    direct = run_algorithm(algorithm, graph, init="none")
+    reordered = run_algorithm(algorithm, graph, init="none", reorder=strategy)
+    assert reordered.cardinality == direct.cardinality, (
+        f"{name}/{algorithm}/{strategy}: "
+        f"{reordered.cardinality} != {direct.cardinality}"
+    )
+    # The un-permuted matching must be a maximum matching of the ORIGINAL
+    # graph — this certifies the inverse mapping, not just the count.
+    verify_maximum(graph, reordered.matching)
+
+
+@pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+@pytest.mark.parametrize("algorithm", ROUNDTRIP_ALGORITHMS)
+@pytest.mark.parametrize(
+    ("name", "builder"), QUICK_CASES, ids=[c[0] for c in QUICK_CASES]
+)
+def test_reorder_roundtrip_quick(name, builder, algorithm, strategy):
+    _assert_roundtrip(name, builder, algorithm, strategy)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+@pytest.mark.parametrize("algorithm", ROUNDTRIP_ALGORITHMS)
+@pytest.mark.parametrize(("name", "builder"), CASES, ids=[c[0] for c in CASES])
+def test_reorder_roundtrip_full(name, builder, algorithm, strategy):
+    _assert_roundtrip(name, builder, algorithm, strategy)
+
+
+@pytest.mark.parametrize(
+    ("name", "builder"), QUICK_CASES[:5], ids=[c[0] for c in QUICK_CASES[:5]]
+)
+def test_reorder_auto_roundtrip(name, builder):
+    # "auto" resolves through the dispatcher (usually to "none" at these
+    # sizes) and must be exact either way.
+    graph = builder()
+    direct = run_algorithm("ms-bfs-graft", graph, init="none")
+    auto = run_algorithm("ms-bfs-graft", graph, init="none", reorder="auto")
+    assert auto.cardinality == direct.cardinality
+    verify_maximum(graph, auto.matching)
+
+
+def test_reorder_with_warm_start_initial():
+    # The suite initialiser path: the initial matching is permuted in and
+    # the result mapped back out.
+    from repro.graph.generators import rmat_bipartite
+
+    graph = rmat_bipartite(scale=7, edge_factor=4, seed=42)
+    direct = run_algorithm("ms-bfs-graft", graph, seed=1)
+    for strategy in REORDER_STRATEGIES:
+        reordered = run_algorithm("ms-bfs-graft", graph, seed=1, reorder=strategy)
+        assert reordered.cardinality == direct.cardinality
+        verify_maximum(graph, reordered.matching)
